@@ -1,0 +1,47 @@
+"""Benchmark fixtures.
+
+The experiment context is session-scoped and disk-cached under
+``.repro_cache/``: the first ``pytest benchmarks/ --benchmark-only`` run
+trains every model (minutes); later runs reload checkpoints and only time
+the experiments themselves.
+
+Scale is selected with ``REPRO_BENCH_PROFILE`` (tiny / quick / full);
+benchmarks default to ``quick``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import EvalContext, settings_from_env
+
+
+@pytest.fixture(scope="session")
+def ctx() -> EvalContext:
+    return EvalContext(settings_from_env("quick"))
+
+
+@pytest.fixture(scope="session")
+def model(ctx):
+    return ctx.passflow()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+def run_once(benchmark, fn):
+    """Run a whole-experiment benchmark exactly once (they're minutes-long)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def shape_assertions_enabled(ctx) -> bool:
+    """Whether the paper-shape assertions are statistically meaningful.
+
+    The ``tiny`` profile trains for a handful of epochs purely to exercise
+    the wiring; its match counts are ~0, so ordering claims degenerate.
+    Assertions activate at ``quick`` scale and above.
+    """
+    return ctx.settings.name != "tiny"

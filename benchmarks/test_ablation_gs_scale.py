@@ -1,0 +1,50 @@
+"""Ablation: Gaussian Smoothing noise scale (the Sec. III-C trade-off).
+
+Sweeps the GS perturbation scale under Dynamic Sampling.  Small scales
+barely break collisions; large scales break them but drift away from the
+matched neighbourhood.  The sweep exposes the trade-off the paper describes
+qualitatively.
+"""
+
+from repro.core.dynamic import DynamicSampler
+from repro.core.smoothing import GaussianSmoother
+from repro.eval.experiments.common import dynamic_config
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import run_once, shape_assertions_enabled
+
+GS_SCALES = (0.25, 0.75, 1.5, 3.0)
+
+
+def test_gs_scale_sweep(benchmark, ctx, model):
+    budget = ctx.settings.guess_budgets[-1]
+
+    def run_all():
+        results = {}
+        for scale in GS_SCALES:
+            sampler = DynamicSampler(
+                model,
+                dynamic_config(ctx),
+                smoother=GaussianSmoother(model.encoder, sigma_scale=scale),
+            )
+            results[scale] = sampler.attack(
+                ctx.test_set, [budget], ctx.attack_rng(f"gs-{scale}"),
+                method=f"GS scale {scale}",
+            ).final()
+        # no-GS control
+        control = DynamicSampler(model, dynamic_config(ctx)).attack(
+            ctx.test_set, [budget], ctx.attack_rng("gs-none"), method="no GS"
+        ).final()
+        return results, control
+
+    results, control = run_once(benchmark, run_all)
+    rows = [["none", control.unique, control.matched]] + [
+        [scale, results[scale].unique, results[scale].matched] for scale in GS_SCALES
+    ]
+    print("\n" + format_table(["GS scale", "unique", "matched"], rows))
+
+    if not shape_assertions_enabled(ctx):
+        return
+    assert all(r.unique > control.unique for r in results.values()), (
+        "every GS scale must improve uniqueness over no-GS"
+    )

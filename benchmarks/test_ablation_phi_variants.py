@@ -1,0 +1,59 @@
+"""Ablation (paper future work, Sec. VII): alternative phi functions.
+
+Compares the paper's step phi against linear and exponential decay and the
+no-penalization control under identical Dynamic Sampling budgets.
+"""
+
+import pytest
+
+from repro.core.dynamic import DynamicSampler, DynamicSamplingConfig
+from repro.core.penalization import (
+    ExponentialDecayPenalization,
+    LinearDecayPenalization,
+    NoPenalization,
+    StepPenalization,
+)
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import run_once, shape_assertions_enabled
+
+PHI_VARIANTS = {
+    "step(gamma=2)": lambda: StepPenalization(2),
+    "linear(horizon=4)": lambda: LinearDecayPenalization(4),
+    "exponential(0.5)": lambda: ExponentialDecayPenalization(0.5),
+    "none (phi=1)": lambda: NoPenalization(),
+}
+
+
+def test_phi_variants(benchmark, ctx, model):
+    budgets = ctx.settings.guess_budgets
+
+    def run_all():
+        results = {}
+        for name, make_phi in PHI_VARIANTS.items():
+            config = DynamicSamplingConfig(
+                alpha=ctx.DYNAMIC_ALPHA,
+                sigma=ctx.DYNAMIC_SIGMA,
+                phi=make_phi(),
+                batch_size=1024,
+            )
+            sampler = DynamicSampler(model, config)
+            results[name] = sampler.attack(
+                ctx.test_set, budgets, ctx.attack_rng(f"phi-{name}"), method=name
+            )
+        return results
+
+    results = run_once(benchmark, run_all)
+    rows = [
+        [name] + [results[name].row_at(b).matched for b in budgets]
+        for name in PHI_VARIANTS
+    ]
+    print("\n" + format_table(["phi"] + [f"{b:,}" for b in budgets], rows))
+
+    if not shape_assertions_enabled(ctx):
+        return
+    final = {name: results[name].final().matched for name in PHI_VARIANTS}
+    decaying_best = max(v for k, v in final.items() if "none" not in k)
+    assert decaying_best >= final["none (phi=1)"], (
+        f"some decaying phi should match the no-penalization control: {final}"
+    )

@@ -1,0 +1,48 @@
+"""Ablation: static-sampling temperature.
+
+The static sampler draws z ~ N(0, T^2 I).  T is not a paper parameter (the
+paper samples at T=1) but standard flow practice; this sweep justifies the
+T=0.75 default the harness uses for the PassFlow-Static arm and shows the
+precision/diversity trade-off.
+"""
+
+from repro.core.sampling import StaticSampler
+from repro.eval.reporting import format_table
+from repro.flows.priors import StandardNormalPrior
+
+from benchmarks.conftest import run_once, shape_assertions_enabled
+
+TEMPERATURES = (0.5, 0.75, 1.0, 1.25)
+
+
+def test_temperature_sweep(benchmark, ctx, model):
+    budget = ctx.settings.guess_budgets[-1]
+
+    def run_all():
+        results = {}
+        for temperature in TEMPERATURES:
+            prior = StandardNormalPrior(model.config.max_length, sigma=temperature)
+            results[temperature] = StaticSampler(model, prior=prior).attack(
+                ctx.test_set, [budget], ctx.attack_rng(f"temp-{temperature}"),
+                method=f"T={temperature}",
+            ).final()
+        return results
+
+    results = run_once(benchmark, run_all)
+    rows = [
+        [temperature, results[temperature].unique, results[temperature].matched]
+        for temperature in TEMPERATURES
+    ]
+    print("\n" + format_table(["temperature", "unique", "matched"], rows))
+
+    if not shape_assertions_enabled(ctx):
+        return
+    # Empirical finding (kept as the assertion): tempered sampling (T < 1)
+    # beats or matches T > 1 on matches.  High-temperature latents land in
+    # poorly-modelled regions whose decodings clip to boundary strings, so
+    # *both* uniqueness and precision degrade -- there is no diversity
+    # upside to oversampling the prior tails on this model.
+    matched = {t: results[t].matched for t in TEMPERATURES}
+    assert max(matched[0.5], matched[0.75]) >= matched[1.25], (
+        f"tempered sampling should not lose to T=1.25: {matched}"
+    )

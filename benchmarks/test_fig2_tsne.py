@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Fig. 2 (t-SNE projection of latent neighbourhoods).
+
+Asserts that pivot neighbourhoods are spatially separated both in latent
+space and in the 2-D embedding (the figure's visual claim).
+"""
+
+from repro.eval.experiments import fig2
+
+from benchmarks.conftest import run_once, shape_assertions_enabled
+
+
+def test_fig2(benchmark, ctx):
+    result = run_once(benchmark, lambda: fig2.run(ctx))
+    print("\n" + str(result))
+    print(
+        f"separation: latent={result.notes['separation_latent']:.2f} "
+        f"embedded={result.notes['separation_embedded']:.2f}"
+    )
+    if not shape_assertions_enabled(ctx):
+        return
+    assert result.notes["separation_latent"] > 1.5, "pivot clouds must separate in latent space"
+    assert result.notes["separation_embedded"] > 1.0, "separation must survive the embedding"

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 3 (latent interpolation jimmy91 -> 123456).
+
+Asserts exact endpoint recovery (flows are bijective, unlike GANs) and that
+consecutive intermediate samples stay similar (latent smoothness).
+"""
+
+from repro.eval.experiments import fig3
+
+from benchmarks.conftest import run_once, shape_assertions_enabled
+
+
+def test_fig3(benchmark, ctx):
+    result = run_once(benchmark, lambda: fig3.run(ctx))
+    print("\n" + str(result))
+    print(
+        f"plausibility={result.notes['plausibility']:.2f} "
+        f"mean consecutive edit distance={result.notes['mean_consecutive_edit_distance']:.2f}"
+    )
+    assert result.notes["endpoints_exact"] == (True, True)
+    if not shape_assertions_enabled(ctx):
+        return
+    assert result.notes["mean_consecutive_edit_distance"] <= 5.0, (
+        "consecutive interpolation samples should stay similar"
+    )

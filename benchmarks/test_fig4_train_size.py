@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Fig. 4 (marginal improvement vs training-set size).
+
+Asserts the paper's generalization claim at reduced scale: the largest
+training set matches at least as well as the smallest, i.e. improvement is
+non-negative where the paper shows a steep rise then plateau.
+"""
+
+from repro.eval.experiments import fig4
+
+from benchmarks.conftest import run_once
+
+
+def test_fig4(benchmark, ctx):
+    result = run_once(benchmark, lambda: fig4.run(ctx))
+    print("\n" + str(result))
+
+    matches = [row[1] for row in result.rows]
+    assert matches[-1] >= matches[0], (
+        f"more training data must not reduce matches: {matches}"
+    )
+    improvements = [row[2] for row in result.rows]
+    assert improvements[0] == 0.0  # baseline definition

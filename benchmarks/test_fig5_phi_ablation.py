@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Fig. 5 (Dynamic Sampling with vs without phi).
+
+Asserts the penalization function helps at the final budget, where the
+paper's gap is widest (3.95% -> 8.08% at 10^8).
+"""
+
+from repro.eval.experiments import fig5
+
+from benchmarks.conftest import run_once, shape_assertions_enabled
+
+
+def test_fig5(benchmark, ctx):
+    result = run_once(benchmark, lambda: fig5.run(ctx))
+    print("\n" + str(result))
+
+    if not shape_assertions_enabled(ctx):
+        return
+    final = result.rows[-1]
+    without_phi, with_phi = final[1], final[2]
+    assert with_phi >= without_phi, (
+        f"phi must help at the largest budget: with={with_phi} without={without_phi}"
+    )

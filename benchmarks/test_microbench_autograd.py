@@ -1,0 +1,65 @@
+"""Micro-benchmarks: autograd engine primitives.
+
+The engine is the substrate every training second is spent in; these
+benchmarks track the cost of a representative forward+backward and of the
+inference-mode (no-grad) fast path the samplers rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.nn import Linear, ResidualMLP
+
+
+@pytest.fixture(scope="module")
+def mlp():
+    return ResidualMLP(10, 64, 10, num_blocks=2, rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return np.random.default_rng(1).normal(size=(512, 10))
+
+
+def test_forward_backward(benchmark, mlp, batch):
+    def step():
+        mlp.zero_grad()
+        out = mlp(Tensor(batch))
+        out.sum().backward()
+        return out
+
+    out = benchmark(step)
+    assert out.shape == (512, 10)
+
+
+def test_forward_no_grad(benchmark, mlp, batch):
+    def infer():
+        with no_grad():
+            return mlp(Tensor(batch))
+
+    out = benchmark(infer)
+    assert out._backward is None  # fast path: no tape
+
+
+def test_matmul_chain(benchmark):
+    layers = [Linear(64, 64, rng=np.random.default_rng(i)) for i in range(8)]
+    x = np.random.default_rng(9).normal(size=(256, 64))
+
+    def chain():
+        h = Tensor(x, requires_grad=True)
+        for layer in layers:
+            h = layer(h).relu()
+        h.sum().backward()
+        return h
+
+    result = benchmark(chain)
+    assert result.shape == (256, 64)
+
+
+def test_logsumexp_large(benchmark):
+    from repro.autograd import logsumexp
+
+    x = np.random.default_rng(2).normal(size=(1024, 128))
+    result = benchmark(lambda: logsumexp(Tensor(x), axis=1))
+    assert result.shape == (1024,)

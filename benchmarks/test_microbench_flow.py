@@ -1,0 +1,42 @@
+"""Micro-benchmarks: throughput of the flow's hot paths.
+
+These are conventional pytest-benchmark measurements (many rounds): the
+forward/inverse/log-prob/sampling costs that dominate guessing attacks.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="module")
+def batch(ctx, model):
+    rng = np.random.default_rng(0)
+    passwords = ctx.corpus[:512]
+    return model.encoder.encode_batch(passwords)
+
+
+def test_encode_throughput(benchmark, model, batch):
+    result = benchmark(lambda: model.flow.encode(batch))
+    assert result.shape == batch.shape
+
+
+def test_decode_throughput(benchmark, model, batch):
+    latents = model.flow.encode(batch)
+    result = benchmark(lambda: model.flow.decode(latents))
+    assert result.shape == batch.shape
+
+
+def test_log_prob_throughput(benchmark, model, batch):
+    result = benchmark(lambda: model.flow.log_prob(batch))
+    assert np.all(np.isfinite(result))
+
+
+def test_sample_passwords_throughput(benchmark, model):
+    rng = np.random.default_rng(1)
+    result = benchmark(lambda: model.sample_passwords(512, rng=rng))
+    assert len(result) == 512
+
+
+def test_roundtrip_exactness(model, batch):
+    # correctness guard riding along with the perf suite
+    assert model.flow.check_invertibility(batch[:64], atol=1e-7) < 1e-7

@@ -1,0 +1,59 @@
+"""Micro-benchmarks: single training steps of every trainable model."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.baselines.cwae import CWAE, CWAEConfig
+from repro.baselines.gan import PassGAN, PassGANConfig
+from repro.core.model import PassFlow, PassFlowConfig
+from repro.nn.optim import Adam
+
+
+@pytest.fixture(scope="module")
+def flow_setup(ctx):
+    config = ctx.passflow_config()
+    model = PassFlow(config)
+    batch = model.encoder.encode_batch(ctx.corpus[:256])
+    optimizer = Adam(model.flow.parameters(), lr=1e-3)
+    return model, batch, optimizer
+
+
+def test_flow_training_step(benchmark, flow_setup):
+    model, batch, optimizer = flow_setup
+
+    def step():
+        optimizer.zero_grad()
+        loss = model.flow.nll(Tensor(batch))
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)
+
+
+def test_gan_training_iteration(benchmark, ctx):
+    gan = PassGAN(PassGANConfig(alphabet_chars=ctx.alphabet.chars, hidden=64, seed=0))
+    features = gan.encoder.encode_batch(ctx.corpus[:512])
+    rng = np.random.default_rng(0)
+
+    def iteration():
+        gan.trainer._critic_step(features[:128], rng)
+        return gan.trainer._generator_step(rng)
+
+    loss = benchmark(iteration)
+    assert np.isfinite(loss)
+
+
+def test_cwae_epoch_on_small_batch(benchmark, ctx):
+    cwae = CWAE(
+        CWAEConfig(alphabet_chars=ctx.alphabet.chars, latent_dim=32, hidden=64, seed=0)
+    )
+    subset = ctx.corpus[:256]
+
+    def epoch():
+        return cwae.fit(subset, epochs=1).reconstruction[-1]
+
+    loss = benchmark.pedantic(epoch, rounds=3, iterations=1)
+    assert np.isfinite(loss)

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table III (unique + matched counts).
+
+Asserts the paper's contraction/restoration shape: Dynamic generates fewer
+unique guesses than Static (the Eq. 14 prior contracts the search), and
+Gaussian Smoothing restores uniqueness.
+"""
+
+from repro.eval.experiments import table3
+from repro.eval.experiments.common import collect_reports
+
+from benchmarks.conftest import run_once, shape_assertions_enabled
+
+
+def test_table3(benchmark, ctx):
+    result = run_once(benchmark, lambda: table3.run(ctx))
+    print("\n" + str(result))
+
+    if not shape_assertions_enabled(ctx):
+        return
+    reports = collect_reports(ctx)
+    final_budget = ctx.settings.guess_budgets[-1]
+    static_unique = reports["PassFlow-Static"].row_at(final_budget).unique
+    dynamic_unique = reports["PassFlow-Dynamic"].row_at(final_budget).unique
+    gs_unique = reports["PassFlow-Dynamic+GS"].row_at(final_budget).unique
+
+    assert dynamic_unique < static_unique, "Dynamic must contract unique guesses (Table III)"
+    assert gs_unique > dynamic_unique, "GS must restore uniqueness (Table III)"
+
+    cwae_matched = reports["CWAE"].row_at(final_budget).matched
+    gs_matched = reports["PassFlow-Dynamic+GS"].row_at(final_budget).matched
+    assert gs_matched > cwae_matched, "PassFlow must beat CWAE on matches (Table III)"

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table V (sigma-bounded neighbourhood sampling).
+
+Asserts the paper's qualitative claim quantitatively: samples drift further
+from the pivot as sigma grows (monotone mean edit distance, allowing one
+inversion for sampling noise).
+"""
+
+from repro.eval.experiments import table5
+
+from benchmarks.conftest import run_once, shape_assertions_enabled
+
+
+def test_table5(benchmark, ctx):
+    result = run_once(benchmark, lambda: table5.run(ctx))
+    print("\n" + str(result))
+
+    if not shape_assertions_enabled(ctx):
+        return
+    distances = result.notes["mean_edit_distance"]
+    sigmas = sorted(distances)
+    values = [distances[s] for s in sigmas]
+    assert values[0] <= values[-1] + 0.5, (
+        "smallest sigma should stay closest to the pivot"
+    )
+    inversions = sum(1 for a, b in zip(values, values[1:]) if a > b + 0.75)
+    assert inversions <= 1, f"edit distance should grow with sigma, got {values}"

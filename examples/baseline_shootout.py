@@ -1,0 +1,115 @@
+"""Baseline shootout: every guesser in the repository on one test set.
+
+Compares PassFlow (static and dynamic) against the full baseline roster --
+PassGAN-style WGAN, CWAE, Markov n-grams, Weir-style PCFG and the
+rule-based mangler -- under identical guess budgets, reproducing the
+Table II methodology across a wider field than the paper.
+
+Run:  python examples/baseline_shootout.py
+"""
+
+import numpy as np
+
+from repro import (
+    DynamicSampler,
+    DynamicSamplingConfig,
+    GaussianSmoother,
+    GuessingAttack,
+    PassFlow,
+    PassFlowConfig,
+    StaticSampler,
+    StepPenalization,
+)
+from repro.baselines import (
+    CWAE,
+    CWAEConfig,
+    MarkovModel,
+    PCFGModel,
+    PassGAN,
+    PassGANConfig,
+    RuleBasedGuesser,
+)
+from repro.data import PasswordDataset, SyntheticConfig, SyntheticRockYou
+from repro.data.alphabet import compact_alphabet
+from repro.eval.reporting import format_table
+from repro.flows.priors import StandardNormalPrior
+
+BUDGETS = [1000, 10000, 50000]
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    alphabet = compact_alphabet()
+    corpus = SyntheticRockYou(
+        rng, SyntheticConfig(vocabulary_size=30, max_suffix_digits=2), alphabet
+    ).generate(30000)
+    flow_train = corpus[:5000]       # PassFlow gets the small subset...
+    baseline_train = corpus[:15000]  # ...baselines get 3x more (paper: 78x)
+    test_raw = corpus[20000:]
+
+    print("training PassFlow...")
+    config = PassFlowConfig(
+        alphabet_chars=alphabet.chars, num_couplings=8, hidden=48,
+        batch_size=256, epochs=60, seed=4,
+    )
+    model = PassFlow(config)
+    dataset = PasswordDataset(flow_train, test_raw, model.encoder)
+    model.fit(dataset)
+    test_set = dataset.test_set
+    print(f"test set: {len(test_set)} cleaned passwords")
+
+    print("training PassGAN (WGAN with weight clipping)...")
+    gan = PassGAN(PassGANConfig(alphabet_chars=alphabet.chars, hidden=96,
+                                iterations=800, seed=5))
+    gan.fit(baseline_train)
+
+    print("training CWAE...")
+    cwae = CWAE(CWAEConfig(alphabet_chars=alphabet.chars, latent_dim=48,
+                           hidden=96, epochs=30, seed=6))
+    cwae.fit(baseline_train)
+
+    print("fitting count-based baselines...")
+    markov = MarkovModel(order=3).fit(baseline_train)
+    pcfg = PCFGModel().fit(baseline_train)
+    rules = RuleBasedGuesser(wordlist_size=300).fit(baseline_train)
+
+    print("\nrunning attacks...")
+    attack = GuessingAttack(test_set, BUDGETS)
+    reports = {
+        "Rule-based (HashCat-style)": attack.run(rules, np.random.default_rng(10)),
+        "Markov (order 3)": attack.run(markov, np.random.default_rng(11)),
+        "PCFG (Weir)": attack.run(pcfg, np.random.default_rng(12)),
+        "PassGAN": attack.run(gan, np.random.default_rng(13)),
+        "CWAE": attack.run(cwae, np.random.default_rng(14)),
+        "PassFlow-Static": StaticSampler(
+            model, prior=StandardNormalPrior(10, sigma=0.75)
+        ).attack(test_set, BUDGETS, np.random.default_rng(15)),
+        "PassFlow-Dynamic+GS": DynamicSampler(
+            model,
+            DynamicSamplingConfig(alpha=1, sigma=0.12, phi=StepPenalization(2),
+                                  batch_size=1024),
+            smoother=GaussianSmoother(model.encoder),
+        ).attack(test_set, BUDGETS, np.random.default_rng(16)),
+    }
+
+    rows = []
+    for name, report in reports.items():
+        row = [name]
+        for budget in BUDGETS:
+            r = report.row_at(budget)
+            row.append(f"{r.matched} ({r.match_percent:.2f}%)")
+        rows.append(row)
+    print("\n" + format_table(
+        ["method"] + [f"matched @ {b:,}" for b in BUDGETS], rows
+    ))
+    print("\nNotes:")
+    print("- PassFlow trained on 3x less data than every baseline")
+    print("  (the paper's headline: 2 orders of magnitude less, Table II).")
+    print("- Count-based models (Markov/PCFG/rules) are strong at this small")
+    print("  synthetic scale: the corpus has narrow support that counting")
+    print("  covers directly. The paper's neural-vs-PCFG gap appears at leak")
+    print("  scale (Sec. VI / Melicher et al.), beyond a CPU reproduction.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Password-strength audit: the defensive application of PassFlow.
+
+Guessing models double as strength meters (Melicher et al., USENIX
+Security '16): a password is weak exactly when the model generates it
+early.  Flows make this clean because log p(x) is exact (Sec. I), and the
+Dell'Amico-Filippone Monte-Carlo estimator converts density into an
+interpretable *guess rank*.
+
+This example trains a model, calibrates the meter against the corpus, and
+audits a mixed batch of candidate passwords.
+
+Run:  python examples/password_strength_audit.py
+"""
+
+import numpy as np
+
+from repro import PassFlow, PassFlowConfig
+from repro.core.strength import StrengthEstimator
+from repro.data import PasswordDataset, SyntheticConfig, SyntheticRockYou
+from repro.data.alphabet import compact_alphabet
+from repro.eval.reporting import format_table
+
+CANDIDATES = [
+    "123456",       # leak head
+    "love12",       # word + digits
+    "maria2001",    # name + year
+    "qwerty",       # keyboard walk
+    "dragonfire",   # two words
+    "k9x2qv7p",     # random-ish
+    "zq8wkfp2xj",   # fully random, max length
+]
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    alphabet = compact_alphabet()
+    corpus = SyntheticRockYou(
+        rng, SyntheticConfig(vocabulary_size=30, max_suffix_digits=2), alphabet
+    ).generate(10000)
+
+    print("training the strength model...")
+    config = PassFlowConfig(
+        alphabet_chars=alphabet.chars, num_couplings=8, hidden=48,
+        batch_size=256, epochs=35, seed=13,
+    )
+    model = PassFlow(config)
+    model.fit(PasswordDataset(corpus[:6000], [], model.encoder))
+
+    estimator = StrengthEstimator(model, reference=corpus[:5000])
+
+    rows = []
+    for password in CANDIDATES:
+        rank = estimator.guess_rank(password, sample_size=2048,
+                                    rng=np.random.default_rng(0))
+        rows.append([
+            password,
+            round(estimator.log_prob(password), 1),
+            f"{rank:,.0f}",
+            f"{estimator.percentile(password):.2f}",
+            estimator.label(password),
+        ])
+    print("\n" + format_table(
+        ["password", "log p(x)", "est. guess rank", "percentile", "band"], rows
+    ))
+    print("\nHigher guess rank = stronger password. The leak-head password")
+    print("should rank orders of magnitude below the random strings.")
+
+
+if __name__ == "__main__":
+    main()

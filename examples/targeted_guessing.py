@@ -1,0 +1,74 @@
+"""Targeted guessing: latent-space operations for informed attacks.
+
+The paper motivates latent-space structure with targeted scenarios
+(Sec. V-B): an attacker who knows something about the victim's password can
+bias generation toward the relevant region.  This example exercises all
+three mechanisms on a trained model:
+
+* **neighbourhood sampling** (Table V): variations of a known old password,
+* **interpolation** (Algorithm 2 / Fig. 3): blending two candidate stems,
+* **conditional guessing** (our Sec. VII extension): completing a partially
+  known password like "jimmy**".
+
+Run:  python examples/targeted_guessing.py
+"""
+
+import numpy as np
+
+from repro import ConditionalGuesser, PassFlow, PassFlowConfig, interpolate
+from repro.analysis.neighborhood import mean_edit_distance, sigma_sweep
+from repro.data import PasswordDataset, SyntheticConfig, SyntheticRockYou
+from repro.data.alphabet import compact_alphabet
+from repro.eval.reporting import format_table
+
+
+def train_model() -> PassFlow:
+    rng = np.random.default_rng(7)
+    alphabet = compact_alphabet()
+    corpus = SyntheticRockYou(
+        rng, SyntheticConfig(vocabulary_size=30, max_suffix_digits=2), alphabet
+    ).generate(8000)
+    config = PassFlowConfig(
+        alphabet_chars=alphabet.chars,
+        num_couplings=8,
+        hidden=48,
+        batch_size=256,
+        epochs=35,
+        seed=2,
+    )
+    model = PassFlow(config)
+    model.fit(PasswordDataset(corpus[:6000], [], model.encoder))
+    return model
+
+
+def main() -> None:
+    print("training the model (about a minute at this scale)...")
+    model = train_model()
+
+    print("\n=== Scenario 1: variations of a leaked old password (Table V) ===")
+    pivot = "maria12"
+    sweep = sigma_sweep(model, pivot, [0.05, 0.10, 0.15], np.random.default_rng(0))
+    rows = []
+    depth = max(len(v) for v in sweep.values())
+    for i in range(depth):
+        rows.append([sweep[s][i] if i < len(sweep[s]) else "" for s in sorted(sweep)])
+    print(format_table([f"sigma={s}" for s in sorted(sweep)], rows))
+    for sigma in sorted(sweep):
+        print(f"  sigma={sigma}: mean edit distance from pivot "
+              f"{mean_edit_distance(pivot, sweep[sigma]):.2f}")
+
+    print("\n=== Scenario 2: blending two candidate stems (Algorithm 2) ===")
+    path = interpolate(model, "love99", "qwerty", steps=8)
+    print("  " + " -> ".join(path))
+
+    print("\n=== Scenario 3: completing a partial password (conditional) ===")
+    guesser = ConditionalGuesser(model, population=128)
+    for template in ("love**", "mar***2"):
+        guesses = guesser.guess(template, rounds=6, top_k=8, rng=np.random.default_rng(1))
+        print(f"  {template!r} -> {guesses}")
+    print("\n(guesses are ranked by exact model density -- a capability")
+    print(" GAN-based guessers cannot offer, Sec. I)")
+
+
+if __name__ == "__main__":
+    main()

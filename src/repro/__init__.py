@@ -1,0 +1,56 @@
+"""PassFlow reproduction: password guessing with generative flows.
+
+A from-scratch (numpy-only) reproduction of *PassFlow: Guessing Passwords
+with Generative Flows* (DSN 2022), including the full deep-learning
+substrate, the flow architecture, the sampling strategies (static, Dynamic
+Sampling with Penalization, Gaussian Smoothing), latent-space operations
+(interpolation, neighbourhood exploration, conditional guessing), the
+baselines the paper compares against, and an evaluation harness that
+regenerates every table and figure of the paper.
+
+Quickstart::
+
+    import numpy as np
+    from repro import PassFlow, PassFlowConfig
+    from repro.data import PasswordDataset, SyntheticRockYou
+
+    rng = np.random.default_rng(0)
+    corpus = SyntheticRockYou(rng).generate(5000)
+    model = PassFlow(PassFlowConfig.small())
+    dataset = PasswordDataset(corpus[:4000], corpus[4000:], model.encoder)
+    model.fit(dataset, epochs=10)
+    print(model.sample_passwords(10))
+"""
+
+from repro.core import (
+    ConditionalGuesser,
+    DynamicSampler,
+    DynamicSamplingConfig,
+    GaussianSmoother,
+    GuessingAttack,
+    GuessingReport,
+    PassFlow,
+    PassFlowConfig,
+    StaticSampler,
+    StepPenalization,
+    interpolate,
+    paper_schedule,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PassFlow",
+    "PassFlowConfig",
+    "StaticSampler",
+    "DynamicSampler",
+    "DynamicSamplingConfig",
+    "GaussianSmoother",
+    "StepPenalization",
+    "GuessingAttack",
+    "GuessingReport",
+    "ConditionalGuesser",
+    "interpolate",
+    "paper_schedule",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Latent-space analysis tools (Sec. V-B: smoothness and locality).
+
+* :mod:`repro.analysis.tsne` -- exact t-SNE (van der Maaten & Hinton 2008),
+  reimplemented on numpy, used for the Fig. 2 projections,
+* :mod:`repro.analysis.projection` -- PCA fallback projection,
+* :mod:`repro.analysis.neighborhood` -- bounded sampling around pivot
+  passwords (Table V) and neighbourhood clouds for Fig. 2.
+"""
+
+from repro.analysis.tsne import TSNE
+from repro.analysis.projection import PCA
+from repro.analysis.diversity import DiversityReport, compare_to_corpus, top_structures
+from repro.analysis.neighborhood import (
+    neighborhood_cloud,
+    neighborhood_samples,
+    sigma_sweep,
+)
+
+__all__ = [
+    "TSNE",
+    "PCA",
+    "neighborhood_samples",
+    "neighborhood_cloud",
+    "sigma_sweep",
+    "DiversityReport",
+    "compare_to_corpus",
+    "top_structures",
+]

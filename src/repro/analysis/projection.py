@@ -1,0 +1,41 @@
+"""PCA projection (cheap alternative/preprocessor to t-SNE)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PCA:
+    """Principal component analysis via SVD."""
+
+    def __init__(self, n_components: int = 2) -> None:
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = n_components
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "PCA":
+        """Learn the principal axes of the rows of ``x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] < 2:
+            raise ValueError("PCA needs a (N>=2, D) matrix")
+        if self.n_components > min(x.shape):
+            raise ValueError("n_components exceeds data rank bound")
+        self.mean_ = x.mean(axis=0)
+        centered = x - self.mean_
+        _, singular_values, v_t = np.linalg.svd(centered, full_matrices=False)
+        self.components_ = v_t[: self.n_components]
+        variance = singular_values**2
+        self.explained_variance_ratio_ = variance[: self.n_components] / variance.sum()
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Project rows of ``x`` onto the learned axes."""
+        if self.components_ is None:
+            raise RuntimeError("fit() the PCA first")
+        return (np.asarray(x, dtype=np.float64) - self.mean_) @ self.components_.T
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)

@@ -1,0 +1,121 @@
+"""Exact t-SNE on numpy.
+
+The paper's Fig. 2 projects latent neighbourhoods with "the TSNE tool";
+scikit-learn is unavailable here, so this is a faithful implementation of
+the exact (O(n^2)) algorithm: perplexity-calibrated Gaussian affinities in
+the input space, Student-t affinities in the embedding, KL-divergence
+gradient descent with momentum and early exaggeration.  Fine for the
+few-hundred-point clouds the figure uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _pairwise_sq_dists(x: np.ndarray) -> np.ndarray:
+    sq = np.sum(x**2, axis=1)
+    d = sq[:, None] + sq[None, :] - 2.0 * (x @ x.T)
+    np.maximum(d, 0.0, out=d)
+    return d
+
+
+def _binary_search_betas(
+    dists: np.ndarray, perplexity: float, tol: float = 1e-5, max_iter: int = 50
+) -> np.ndarray:
+    """Per-point precision (beta = 1/2sigma^2) matching the target perplexity."""
+    n = dists.shape[0]
+    target_entropy = np.log(perplexity)
+    betas = np.ones(n)
+    for i in range(n):
+        beta, beta_min, beta_max = 1.0, -np.inf, np.inf
+        row = np.delete(dists[i], i)
+        for _ in range(max_iter):
+            p = np.exp(-row * beta)
+            total = p.sum()
+            if total <= 0:
+                entropy = 0.0
+                p_norm = np.zeros_like(p)
+            else:
+                p_norm = p / total
+                entropy = -np.sum(p_norm * np.log(np.maximum(p_norm, 1e-12)))
+            diff = entropy - target_entropy
+            if abs(diff) < tol:
+                break
+            if diff > 0:  # entropy too high -> narrower kernel
+                beta_min = beta
+                beta = beta * 2.0 if beta_max == np.inf else 0.5 * (beta + beta_max)
+            else:
+                beta_max = beta
+                beta = beta / 2.0 if beta_min == -np.inf else 0.5 * (beta + beta_min)
+        betas[i] = beta
+    return betas
+
+
+def _joint_probabilities(x: np.ndarray, perplexity: float) -> np.ndarray:
+    dists = _pairwise_sq_dists(x)
+    betas = _binary_search_betas(dists, perplexity)
+    n = x.shape[0]
+    p = np.exp(-dists * betas[:, None])
+    np.fill_diagonal(p, 0.0)
+    row_sums = p.sum(axis=1, keepdims=True)
+    row_sums[row_sums == 0] = 1.0
+    p /= row_sums
+    p = (p + p.T) / (2.0 * n)
+    return np.maximum(p, 1e-12)
+
+
+@dataclass
+class TSNE:
+    """Exact t-SNE embedder."""
+
+    n_components: int = 2
+    perplexity: float = 30.0
+    learning_rate: float = 100.0
+    n_iter: int = 400
+    early_exaggeration: float = 4.0
+    exaggeration_iters: int = 100
+    momentum: float = 0.8
+    seed: int = 0
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Embed rows of ``x`` into ``n_components`` dimensions."""
+        x = np.asarray(x, dtype=np.float64)
+        n = x.shape[0]
+        if n < 3:
+            raise ValueError("t-SNE needs at least 3 points")
+        if self.perplexity >= n:
+            raise ValueError("perplexity must be < number of points")
+
+        p = _joint_probabilities(x, self.perplexity)
+        rng = np.random.default_rng(self.seed)
+        y = rng.normal(0.0, 1e-4, size=(n, self.n_components))
+        velocity = np.zeros_like(y)
+
+        for iteration in range(self.n_iter):
+            exaggeration = (
+                self.early_exaggeration if iteration < self.exaggeration_iters else 1.0
+            )
+            d_y = _pairwise_sq_dists(y)
+            q_num = 1.0 / (1.0 + d_y)
+            np.fill_diagonal(q_num, 0.0)
+            q = np.maximum(q_num / q_num.sum(), 1e-12)
+
+            pq = (exaggeration * p - q) * q_num
+            grad = 4.0 * ((np.diag(pq.sum(axis=1)) - pq) @ y)
+
+            velocity = self.momentum * velocity - self.learning_rate * grad
+            y += velocity
+            y -= y.mean(axis=0)
+        return y
+
+    def kl_divergence(self, x: np.ndarray, y: np.ndarray) -> float:
+        """KL(P || Q) of an embedding (quality diagnostic)."""
+        p = _joint_probabilities(np.asarray(x, dtype=np.float64), self.perplexity)
+        d_y = _pairwise_sq_dists(np.asarray(y, dtype=np.float64))
+        q_num = 1.0 / (1.0 + d_y)
+        np.fill_diagonal(q_num, 0.0)
+        q = np.maximum(q_num / q_num.sum(), 1e-12)
+        return float(np.sum(p * np.log(p / q)))

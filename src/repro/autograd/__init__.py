@@ -1,0 +1,70 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This subpackage is the lowest-level substrate of the PassFlow reproduction.
+The paper trains its flow networks with exact negative log-likelihood
+(Eqs. 5-8); computing those gradients requires a full autodiff engine, which
+the original work obtained from PyTorch.  Nothing beyond numpy is available
+in this environment, so we implement a compact tape-based reverse-mode engine
+with broadcasting-aware gradients.
+
+Public surface:
+
+``Tensor``
+    The differentiable array type.  Supports arithmetic, matmul, reductions,
+    elementwise nonlinearities, slicing and reshaping.
+``no_grad`` / ``is_grad_enabled`` / ``set_grad_enabled``
+    Context manager and toggles for disabling graph construction (used on
+    every sampling/inference path for speed).
+``concatenate``, ``stack``, ``where``, ``logsumexp`` ...
+    Functional ops in :mod:`repro.autograd.ops`.
+``numeric_gradient``, ``check_gradients``
+    Finite-difference utilities in :mod:`repro.autograd.grad_check` used by
+    the test-suite to validate every op.
+"""
+
+from repro.autograd.tensor import (
+    Tensor,
+    as_tensor,
+    is_grad_enabled,
+    no_grad,
+    set_grad_enabled,
+)
+from repro.autograd.ops import (
+    concatenate,
+    exp,
+    log,
+    logsumexp,
+    maximum,
+    mean,
+    relu,
+    sigmoid,
+    softplus,
+    stack,
+    sum as tensor_sum,
+    tanh,
+    where,
+)
+from repro.autograd.grad_check import check_gradients, numeric_gradient
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "set_grad_enabled",
+    "concatenate",
+    "stack",
+    "where",
+    "logsumexp",
+    "exp",
+    "log",
+    "tanh",
+    "relu",
+    "sigmoid",
+    "softplus",
+    "maximum",
+    "mean",
+    "tensor_sum",
+    "numeric_gradient",
+    "check_gradients",
+]

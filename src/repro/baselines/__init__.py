@@ -1,0 +1,31 @@
+"""Baselines the paper compares against (Sec. V-A, VI).
+
+* :mod:`repro.baselines.gan` -- PassGAN-style Wasserstein GAN (Sec. VI-A/B),
+* :mod:`repro.baselines.cwae` -- Context Wasserstein Autoencoder
+  (Sec. VI-C),
+* :mod:`repro.baselines.markov` -- n-gram Markov model (JTR Markov mode,
+  ref [2]),
+* :mod:`repro.baselines.pcfg` -- Weir-style probabilistic context-free
+  grammar [43],
+* :mod:`repro.baselines.rules` -- HashCat/JTR-style wordlist mangling.
+
+Every baseline exposes ``fit(passwords)`` and
+``sample_passwords(count, rng)`` so the guessing harness treats them
+uniformly with PassFlow.
+"""
+
+from repro.baselines.markov import MarkovModel
+from repro.baselines.pcfg import PCFGModel
+from repro.baselines.rules import RuleBasedGuesser
+from repro.baselines.gan import PassGAN, PassGANConfig
+from repro.baselines.cwae import CWAE, CWAEConfig
+
+__all__ = [
+    "MarkovModel",
+    "PCFGModel",
+    "RuleBasedGuesser",
+    "PassGAN",
+    "PassGANConfig",
+    "CWAE",
+    "CWAEConfig",
+]

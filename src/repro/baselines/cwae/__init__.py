@@ -1,0 +1,17 @@
+"""Context Wasserstein Autoencoder baseline (Sec. VI-C).
+
+Pasquini et al.'s deep latent variable model: a deterministic
+encoder/decoder trained as a *context* autoencoder (the encoder sees a
+noisy version of the password with characters dropped with probability
+epsilon/|x|; the decoder reconstructs the original) with an MMD penalty
+matching the aggregate posterior to the N(0, I) prior (WAE-MMD).
+
+Unlike PassFlow, the latent dimensionality is free (the paper uses 128 and
+attributes CWAE's higher unique-sample counts to it, Table III discussion).
+"""
+
+from repro.baselines.cwae.encoder import Encoder
+from repro.baselines.cwae.decoder import Decoder
+from repro.baselines.cwae.wae import CWAE, CWAEConfig, mmd_penalty
+
+__all__ = ["Encoder", "Decoder", "CWAE", "CWAEConfig", "mmd_penalty"]

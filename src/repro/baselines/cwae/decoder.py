@@ -1,0 +1,31 @@
+"""CWAE decoder: latent code -> password features in (0, 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn import Linear, Module
+
+
+class Decoder(Module):
+    """MLP decoder with sigmoid output into the encoding cube."""
+
+    def __init__(
+        self,
+        latent_dim: int,
+        data_dim: int,
+        hidden: int = 128,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.fc1 = Linear(latent_dim, hidden, rng=rng)
+        self.fc2 = Linear(hidden, hidden, rng=rng)
+        self.head = Linear(hidden, data_dim, rng=rng)
+        self.data_dim = data_dim
+
+    def forward(self, z: Tensor) -> Tensor:
+        hidden = self.fc1(z).relu()
+        hidden = self.fc2(hidden).relu()
+        return self.head(hidden).sigmoid()

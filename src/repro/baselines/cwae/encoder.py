@@ -1,0 +1,31 @@
+"""CWAE encoder: password features -> latent code."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn import Linear, Module
+
+
+class Encoder(Module):
+    """Deterministic MLP encoder (WAE uses point encodings, not posteriors)."""
+
+    def __init__(
+        self,
+        data_dim: int,
+        latent_dim: int,
+        hidden: int = 128,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.fc1 = Linear(data_dim, hidden, rng=rng)
+        self.fc2 = Linear(hidden, hidden, rng=rng)
+        self.head = Linear(hidden, latent_dim, rng=rng)
+        self.latent_dim = latent_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.fc1(x).relu()
+        hidden = self.fc2(hidden).relu()
+        return self.head(hidden)

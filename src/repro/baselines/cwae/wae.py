@@ -1,0 +1,201 @@
+"""CWAE training (reconstruction + MMD) and the guessing interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.baselines.cwae.decoder import Decoder
+from repro.baselines.cwae.encoder import Encoder
+from repro.data.alphabet import Alphabet, default_alphabet
+from repro.data.dataset import PasswordDataset
+from repro.data.encoding import PasswordEncoder
+from repro.nn.losses import mse_loss
+from repro.nn.optim import Adam
+from repro.utils.rng import RngStream
+
+
+def _pairwise_sq_dists(a: Tensor, b: Tensor) -> Tensor:
+    """(N, M) matrix of squared euclidean distances between rows."""
+    a_sq = (a * a).sum(axis=1).reshape(-1, 1)
+    b_sq = (b * b).sum(axis=1).reshape(1, -1)
+    return a_sq + b_sq - (a @ b.T) * 2.0
+
+
+def mmd_penalty(codes: Tensor, prior_samples: Tensor, scale: float) -> Tensor:
+    """IMQ-kernel MMD between encoded codes and prior samples (WAE-MMD).
+
+    Uses the inverse multiquadratic kernel k(x,y) = C / (C + ||x-y||^2)
+    with C = 2 * d * scale^2, the WAE paper's choice; diagonal terms are
+    excluded from the within-set averages (unbiased-style estimate).
+    """
+    n = codes.shape[0]
+    if n < 2:
+        raise ValueError("MMD needs at least two samples")
+    d = codes.shape[1]
+    c = 2.0 * d * scale**2
+
+    k_zz = c / (c + _pairwise_sq_dists(codes, codes))
+    k_pp = c / (c + _pairwise_sq_dists(prior_samples, prior_samples))
+    k_zp = c / (c + _pairwise_sq_dists(codes, prior_samples))
+
+    off = 1.0 - np.eye(n)
+    denom = n * (n - 1)
+    term_zz = (k_zz * Tensor(off)).sum() * (1.0 / denom)
+    term_pp = (k_pp * Tensor(off)).sum() * (1.0 / denom)
+    term_zp = k_zp.mean() * 2.0
+    return term_zz + term_pp - term_zp
+
+
+@dataclass
+class CWAEConfig:
+    """Architecture + training knobs of the CWAE baseline."""
+
+    max_length: int = 10
+    alphabet_chars: Optional[str] = None
+    latent_dim: int = 64
+    hidden: int = 128
+    epsilon: float = 2.0  # context noising intensity (chars dropped ~ eps/|x|)
+    mmd_weight: float = 5.0
+    epochs: int = 30
+    batch_size: int = 128
+    learning_rate: float = 1e-3
+    seed: int = 0
+
+    @classmethod
+    def small(cls, seed: int = 0) -> "CWAEConfig":
+        """CPU-scale configuration."""
+        return cls(latent_dim=32, hidden=64, epochs=20, seed=seed)
+
+
+@dataclass
+class CWAEHistory:
+    """Per-epoch training records."""
+
+    reconstruction: List[float] = field(default_factory=list)
+    mmd: List[float] = field(default_factory=list)
+
+
+class CWAE:
+    """Context Wasserstein Autoencoder password guesser."""
+
+    def __init__(self, config: Optional[CWAEConfig] = None) -> None:
+        self.config = config or CWAEConfig()
+        chars = self.config.alphabet_chars
+        self.alphabet = Alphabet(chars) if chars else default_alphabet()
+        self.encoder_codec = PasswordEncoder(self.alphabet, max_length=self.config.max_length)
+        self.rng_streams = RngStream(self.config.seed)
+        init_rng = self.rng_streams.get("weights")
+        self.encoder = Encoder(
+            self.config.max_length, self.config.latent_dim, hidden=self.config.hidden, rng=init_rng
+        )
+        self.decoder = Decoder(
+            self.config.latent_dim, self.config.max_length, hidden=self.config.hidden, rng=init_rng
+        )
+        self.history = CWAEHistory()
+
+    # ------------------------------------------------------------------
+    def _context_noise(self, features: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Drop characters with probability eps/|x| (replace by PAD center).
+
+        This is the context-encoder trick of Sec. VI-C: the encoder sees an
+        incomplete password and must embed enough context for the decoder
+        to restore the missing characters.
+        """
+        pad_center = 0.5 * self.encoder_codec.bin_width
+        noisy = np.array(features, copy=True)
+        lengths = np.maximum((features > self.encoder_codec.bin_width).sum(axis=1), 1)
+        drop_prob = np.minimum(self.config.epsilon / lengths, 0.9)
+        drop = rng.random(features.shape) < drop_prob[:, None]
+        noisy[drop] = pad_center
+        return noisy
+
+    def fit(
+        self,
+        data: Union[PasswordDataset, Sequence[str]],
+        epochs: Optional[int] = None,
+        verbose: bool = False,
+    ) -> CWAEHistory:
+        """Train with reconstruction + MMD loss."""
+        if isinstance(data, PasswordDataset):
+            features = data.train_features
+        else:
+            features = self.encoder_codec.encode_batch(list(data))
+        epochs = epochs if epochs is not None else self.config.epochs
+        batch_size = self.config.batch_size
+        if len(features) < 2:
+            raise ValueError("need at least two training passwords")
+        rng = self.rng_streams.get("train")
+        params = list(self.encoder.parameters()) + list(self.decoder.parameters())
+        optimizer = Adam(params, lr=self.config.learning_rate)
+        for _ in range(epochs):
+            order = rng.permutation(len(features))
+            recon_losses, mmd_losses = [], []
+            for start in range(0, len(features), batch_size):
+                batch = features[order[start : start + batch_size]]
+                if len(batch) < 2:
+                    continue
+                noisy = self._context_noise(batch, rng)
+                optimizer.zero_grad()
+                codes = self.encoder(Tensor(noisy))
+                recon = self.decoder(codes)
+                recon_loss = mse_loss(recon, Tensor(batch))
+                prior = Tensor(rng.normal(size=(len(batch), self.config.latent_dim)))
+                mmd = mmd_penalty(codes, prior, scale=1.0)
+                loss = recon_loss + mmd * self.config.mmd_weight
+                loss.backward()
+                optimizer.step()
+                recon_losses.append(recon_loss.item())
+                mmd_losses.append(mmd.item())
+            self.history.reconstruction.append(float(np.mean(recon_losses)))
+            self.history.mmd.append(float(np.mean(mmd_losses)))
+        return self.history
+
+    # ------------------------------------------------------------------
+    def sample_features(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Decode prior samples into data-space features."""
+        z = rng.normal(size=(count, self.config.latent_dim))
+        with no_grad():
+            decoded = self.decoder(Tensor(z))
+        return decoded.data
+
+    def sample_passwords(self, count: int, rng: Optional[np.random.Generator] = None) -> List[str]:
+        """Generate ``count`` password guesses."""
+        rng = rng if rng is not None else self.rng_streams.get("sample")
+        return self.encoder_codec.decode_batch(self.sample_features(count, rng))
+
+    def reconstruct(self, passwords: Sequence[str]) -> List[str]:
+        """Round-trip passwords through the autoencoder (diagnostics)."""
+        features = self.encoder_codec.encode_batch(passwords)
+        with no_grad():
+            decoded = self.decoder(self.encoder(Tensor(features)))
+        return self.encoder_codec.decode_batch(decoded.data)
+
+    # ------------------------------------------------------------------
+    def save(self, path):
+        """Persist encoder + decoder weights and config."""
+        from dataclasses import asdict
+
+        from repro.utils.serialization import save_checkpoint
+
+        state = {f"encoder.{k}": v for k, v in self.encoder.state_dict().items()}
+        state.update({f"decoder.{k}": v for k, v in self.decoder.state_dict().items()})
+        return save_checkpoint(path, state, {"config": asdict(self.config)})
+
+    @classmethod
+    def load(cls, path) -> "CWAE":
+        """Restore a model saved by :meth:`save`."""
+        from repro.utils.serialization import load_checkpoint
+
+        state, metadata = load_checkpoint(path)
+        model = cls(CWAEConfig(**metadata["config"]))
+        model.encoder.load_state_dict(
+            {k[len("encoder."):]: v for k, v in state.items() if k.startswith("encoder.")}
+        )
+        model.decoder.load_state_dict(
+            {k[len("decoder."):]: v for k, v in state.items() if k.startswith("decoder.")}
+        )
+        return model

@@ -1,0 +1,22 @@
+"""PassGAN-style Wasserstein GAN baseline (Sec. VI-A/B).
+
+Substitution note (DESIGN.md): the original PassGAN uses WGAN-GP; gradient
+penalty needs double backward, which a first-order engine cannot provide, so
+we use the original WGAN Lipschitz mechanism (weight clipping).  The
+baseline remains an adversarially-trained implicit generative model with no
+explicit density -- the property the paper contrasts flows against.
+"""
+
+from repro.baselines.gan.generator import Generator
+from repro.baselines.gan.discriminator import Critic
+from repro.baselines.gan.wgan import WGANTrainer, WGANTrainingConfig
+from repro.baselines.gan.passgan import PassGAN, PassGANConfig
+
+__all__ = [
+    "Generator",
+    "Critic",
+    "WGANTrainer",
+    "WGANTrainingConfig",
+    "PassGAN",
+    "PassGANConfig",
+]

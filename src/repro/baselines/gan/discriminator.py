@@ -1,0 +1,43 @@
+"""WGAN critic: data-space features -> Wasserstein score."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn import LeakyReLU, Linear, Module
+
+
+class Critic(Module):
+    """MLP critic returning an unbounded scalar per sample."""
+
+    def __init__(
+        self,
+        data_dim: int,
+        hidden: int = 128,
+        depth: int = 3,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.depth = depth
+        self.activation = LeakyReLU(0.2)
+        widths = [data_dim] + [hidden] * depth
+        for i in range(depth):
+            self.add_module(f"fc{i}", Linear(widths[i], widths[i + 1], rng=rng))
+        self.head = Linear(hidden, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = x
+        for i in range(self.depth):
+            hidden = self.activation(self._modules[f"fc{i}"](hidden))
+        return self.head(hidden)
+
+    def clip_weights(self, clip: float) -> None:
+        """WGAN weight clipping (the Lipschitz constraint)."""
+        if clip <= 0:
+            raise ValueError("clip must be positive")
+        for param in self.parameters():
+            np.clip(param.data, -clip, clip, out=param.data)

@@ -1,0 +1,74 @@
+"""GAN generator: noise -> data-space password features.
+
+Residual-block MLP with batch normalization, following the PassGAN /
+Pasquini et al. recipe (residual generator, batchnorm for depth) at MLP
+scale.  Output is squashed to (0, 1) to live in the encoding cube.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn import BatchNorm1d, Linear, Module, ResidualBlock
+
+
+class Generator(Module):
+    """Maps latent noise (B, noise_dim) to features (B, data_dim).
+
+    Two output heads, matching the two password representations:
+
+    * sigmoid (default) -- features in (0,1), the numeric bin encoding;
+    * per-position softmax (``softmax_positions``/``softmax_vocab`` set) --
+      ``data_dim = positions * vocab`` logits reshaped to (B, L, V) and
+      normalized per position, the PassGAN one-hot representation.
+    """
+
+    def __init__(
+        self,
+        noise_dim: int,
+        data_dim: int,
+        hidden: int = 128,
+        num_blocks: int = 2,
+        rng: np.random.Generator | None = None,
+        softmax_positions: int | None = None,
+        softmax_vocab: int | None = None,
+    ) -> None:
+        super().__init__()
+        if noise_dim < 1 or data_dim < 1:
+            raise ValueError("dimensions must be positive")
+        if (softmax_positions is None) != (softmax_vocab is None):
+            raise ValueError("softmax_positions and softmax_vocab go together")
+        if softmax_positions is not None and softmax_positions * softmax_vocab != data_dim:
+            raise ValueError("data_dim must equal positions * vocab for softmax head")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.noise_dim = noise_dim
+        self.data_dim = data_dim
+        self.softmax_positions = softmax_positions
+        self.softmax_vocab = softmax_vocab
+        self.input = Linear(noise_dim, hidden, rng=rng)
+        self.num_blocks = num_blocks
+        for i in range(num_blocks):
+            self.add_module(f"block{i}", ResidualBlock(hidden, rng=rng))
+            self.add_module(f"bn{i}", BatchNorm1d(hidden))
+        self.output = Linear(hidden, data_dim, rng=rng)
+
+    def forward(self, noise: Tensor) -> Tensor:
+        hidden = self.input(noise).relu()
+        for i in range(self.num_blocks):
+            hidden = self._modules[f"block{i}"](hidden)
+            hidden = self._modules[f"bn{i}"](hidden)
+        logits = self.output(hidden)
+        if self.softmax_positions is None:
+            return logits.sigmoid()
+        from repro.autograd import logsumexp
+
+        batch = logits.shape[0]
+        shaped = logits.reshape(batch, self.softmax_positions, self.softmax_vocab)
+        log_norm = logsumexp(shaped, axis=-1, keepdims=True)
+        probs = (shaped - log_norm).exp()
+        return probs.reshape(batch, self.data_dim)
+
+    def sample_noise(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Standard-normal noise batch."""
+        return rng.normal(0.0, 1.0, size=(count, self.noise_dim))

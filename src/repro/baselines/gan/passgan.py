@@ -1,0 +1,162 @@
+"""PassGAN wrapper: corpus in, password guesses out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.baselines.gan.discriminator import Critic
+from repro.baselines.gan.generator import Generator
+from repro.baselines.gan.wgan import WGANTrainer, WGANTrainingConfig
+from repro.data.alphabet import Alphabet, default_alphabet
+from repro.data.dataset import PasswordDataset
+from repro.data.encoding import PasswordEncoder
+from repro.utils.rng import RngStream
+
+
+@dataclass
+class PassGANConfig:
+    """Architecture + training knobs of the GAN baseline.
+
+    ``encoding`` selects the data representation:
+
+    * ``"numeric"`` -- the compact bin encoding PassFlow uses (default;
+      cheapest, shares the codec with the rest of the repo),
+    * ``"onehot"`` -- the per-position character distributions the real
+      PassGAN / Pasquini GAN operate on (Sec. VI-A/B), with the
+      stochastic-smoothing trick applied to the real samples.
+    """
+
+    max_length: int = 10
+    alphabet_chars: Optional[str] = None
+    noise_dim: int = 32
+    hidden: int = 128
+    num_blocks: int = 2
+    critic_depth: int = 3
+    iterations: int = 500
+    batch_size: int = 128
+    learning_rate: float = 1e-4
+    encoding: str = "numeric"
+    smoothing_gamma: float = 0.01  # one-hot stochastic smoothing strength
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.encoding not in ("numeric", "onehot"):
+            raise ValueError("encoding must be 'numeric' or 'onehot'")
+
+    @classmethod
+    def small(cls, seed: int = 0) -> "PassGANConfig":
+        """CPU-scale configuration."""
+        return cls(hidden=64, iterations=300, seed=seed)
+
+
+class PassGAN:
+    """GAN-based password guesser with the common fit/sample interface."""
+
+    def __init__(self, config: Optional[PassGANConfig] = None) -> None:
+        self.config = config or PassGANConfig()
+        chars = self.config.alphabet_chars
+        self.alphabet = Alphabet(chars) if chars else default_alphabet()
+        self.rng_streams = RngStream(self.config.seed)
+        init_rng = self.rng_streams.get("weights")
+        if self.config.encoding == "onehot":
+            from repro.data.onehot import OneHotEncoder
+
+            self.encoder = OneHotEncoder(self.alphabet, max_length=self.config.max_length)
+            data_dim = self.encoder.flat_dim
+            softmax_positions = self.config.max_length
+            softmax_vocab = self.encoder.vocab_size
+        else:
+            self.encoder = PasswordEncoder(self.alphabet, max_length=self.config.max_length)
+            data_dim = self.config.max_length
+            softmax_positions = None
+            softmax_vocab = None
+        self.generator = Generator(
+            self.config.noise_dim,
+            data_dim,
+            hidden=self.config.hidden,
+            num_blocks=self.config.num_blocks,
+            rng=init_rng,
+            softmax_positions=softmax_positions,
+            softmax_vocab=softmax_vocab,
+        )
+        self.critic = Critic(
+            data_dim,
+            hidden=self.config.hidden,
+            depth=self.config.critic_depth,
+            rng=init_rng,
+        )
+        self.trainer = WGANTrainer(
+            self.generator,
+            self.critic,
+            WGANTrainingConfig(
+                batch_size=self.config.batch_size,
+                learning_rate=self.config.learning_rate,
+            ),
+        )
+
+    def fit(
+        self,
+        data: Union[PasswordDataset, Sequence[str]],
+        iterations: Optional[int] = None,
+        verbose: bool = False,
+    ):
+        """Adversarially train on encoded (and noised) password features.
+
+        Numeric encoding gets within-bin dequantization noise; one-hot gets
+        the Pasquini stochastic smoothing (Sec. VI-B).
+        """
+        train_rng = self.rng_streams.get("train")
+        passwords = data.train if isinstance(data, PasswordDataset) else list(data)
+        features = self.encoder.encode_batch(passwords)
+        if self.config.encoding == "onehot":
+            features = self.encoder.smooth(
+                features, train_rng, gamma=self.config.smoothing_gamma
+            )
+        else:
+            features = self.encoder.dequantize(features, train_rng)
+        iterations = iterations if iterations is not None else self.config.iterations
+        return self.trainer.train(features, iterations, train_rng, verbose=verbose)
+
+    def sample_features(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Generate raw data-space features."""
+        noise = self.generator.sample_noise(count, rng)
+        with no_grad():
+            fake = self.generator(Tensor(noise))
+        return fake.data
+
+    def sample_passwords(self, count: int, rng: Optional[np.random.Generator] = None) -> List[str]:
+        """Generate ``count`` password guesses."""
+        rng = rng if rng is not None else self.rng_streams.get("sample")
+        return self.encoder.decode_batch(self.sample_features(count, rng))
+
+    # ------------------------------------------------------------------
+    def save(self, path):
+        """Persist generator + critic weights and config."""
+        from dataclasses import asdict
+
+        from repro.utils.serialization import save_checkpoint
+
+        state = {f"generator.{k}": v for k, v in self.generator.state_dict().items()}
+        state.update({f"critic.{k}": v for k, v in self.critic.state_dict().items()})
+        return save_checkpoint(path, state, {"config": asdict(self.config)})
+
+    @classmethod
+    def load(cls, path) -> "PassGAN":
+        """Restore a model saved by :meth:`save`."""
+        from repro.utils.serialization import load_checkpoint
+
+        state, metadata = load_checkpoint(path)
+        model = cls(PassGANConfig(**metadata["config"]))
+        model.generator.load_state_dict(
+            {k[len("generator."):]: v for k, v in state.items() if k.startswith("generator.")}
+        )
+        model.critic.load_state_dict(
+            {k[len("critic."):]: v for k, v in state.items() if k.startswith("critic.")}
+        )
+        model.generator.eval()
+        model.critic.eval()
+        return model

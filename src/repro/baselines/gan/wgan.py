@@ -1,0 +1,120 @@
+"""WGAN training loop (critic/generator alternation with weight clipping)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.baselines.gan.discriminator import Critic
+from repro.baselines.gan.generator import Generator
+from repro.nn.optim import Adam
+from repro.utils.logging import get_logger
+
+logger = get_logger("baselines.gan")
+
+
+@dataclass
+class WGANTrainingConfig:
+    """WGAN hyper-parameters (Arjovsky et al. defaults adapted to Adam)."""
+
+    critic_steps: int = 5
+    clip: float = 0.01
+    learning_rate: float = 1e-4
+    betas: tuple = (0.5, 0.9)
+    batch_size: int = 128
+
+    def __post_init__(self) -> None:
+        if self.critic_steps < 1:
+            raise ValueError("critic_steps must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+
+@dataclass
+class WGANHistory:
+    """Per-iteration Wasserstein estimates."""
+
+    critic_loss: List[float] = field(default_factory=list)
+    generator_loss: List[float] = field(default_factory=list)
+
+
+class WGANTrainer:
+    """Alternating optimization of critic and generator."""
+
+    def __init__(
+        self,
+        generator: Generator,
+        critic: Critic,
+        config: WGANTrainingConfig | None = None,
+    ) -> None:
+        self.generator = generator
+        self.critic = critic
+        self.config = config or WGANTrainingConfig()
+        self.gen_optimizer = Adam(
+            generator.parameters(), lr=self.config.learning_rate, betas=self.config.betas
+        )
+        self.critic_optimizer = Adam(
+            critic.parameters(), lr=self.config.learning_rate, betas=self.config.betas
+        )
+        self.history = WGANHistory()
+
+    def _real_batch(self, features: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        idx = rng.integers(0, len(features), size=self.config.batch_size)
+        return features[idx]
+
+    def _critic_step(self, real: np.ndarray, rng: np.random.Generator) -> float:
+        noise = self.generator.sample_noise(self.config.batch_size, rng)
+        with no_grad():  # generator is fixed during the critic step
+            fake = self.generator(Tensor(noise))
+        self.critic_optimizer.zero_grad()
+        score_real = self.critic(Tensor(real)).mean()
+        score_fake = self.critic(fake).mean()
+        # critic maximizes real - fake  <=>  minimizes fake - real
+        loss = score_fake - score_real
+        loss.backward()
+        self.critic_optimizer.step()
+        self.critic.clip_weights(self.config.clip)
+        return loss.item()
+
+    def _generator_step(self, rng: np.random.Generator) -> float:
+        noise = self.generator.sample_noise(self.config.batch_size, rng)
+        self.gen_optimizer.zero_grad()
+        fake = self.generator(Tensor(noise))
+        loss = -self.critic(fake).mean()
+        loss.backward()
+        self.gen_optimizer.step()
+        return loss.item()
+
+    def train(
+        self,
+        features: np.ndarray,
+        iterations: int,
+        rng: np.random.Generator,
+        verbose: bool = False,
+    ) -> WGANHistory:
+        """Run ``iterations`` generator updates (each with critic_steps)."""
+        if len(features) < self.config.batch_size:
+            raise ValueError("training set smaller than one batch")
+        self.generator.train()
+        self.critic.train()
+        for iteration in range(iterations):
+            critic_losses = [
+                self._critic_step(self._real_batch(features, rng), rng)
+                for _ in range(self.config.critic_steps)
+            ]
+            gen_loss = self._generator_step(rng)
+            self.history.critic_loss.append(float(np.mean(critic_losses)))
+            self.history.generator_loss.append(gen_loss)
+            if verbose and (iteration + 1) % 50 == 0:
+                logger.info(
+                    "wgan iter %d critic=%.4f gen=%.4f",
+                    iteration + 1,
+                    self.history.critic_loss[-1],
+                    gen_loss,
+                )
+        self.generator.eval()
+        self.critic.eval()
+        return self.history

@@ -1,0 +1,67 @@
+"""HashCat/JTR-style rule-based guesser.
+
+The traditional-tool family the paper's introduction contrasts against:
+take a wordlist (here: the most frequent stems of the training corpus) and
+expand it through mangling rules.  Serves as the non-learned reference point
+in the baseline shootout example.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.mangling import RuleEngine
+
+
+def letter_stem(password: str) -> str:
+    """Longest leading alphabetic run (the 'word' part of word+digits)."""
+    stem = []
+    for ch in password:
+        if ch.isalpha():
+            stem.append(ch.lower())
+        else:
+            break
+    return "".join(stem)
+
+
+class RuleBasedGuesser:
+    """Wordlist + mangling rules guess generator."""
+
+    def __init__(self, wordlist_size: int = 200, max_length: int = 10) -> None:
+        if wordlist_size < 1:
+            raise ValueError("wordlist_size must be >= 1")
+        self.wordlist_size = wordlist_size
+        self.max_length = max_length
+        self.wordlist: List[str] = []
+        self._fitted = False
+
+    def fit(self, passwords: Sequence[str]) -> "RuleBasedGuesser":
+        """Derive the wordlist from the most common stems of the corpus."""
+        stems = Counter()
+        for password in passwords:
+            stem = letter_stem(password)
+            if len(stem) >= 3:
+                stems[stem] += 1
+            stems[password[: self.max_length]] += 1
+        self.wordlist = [w for w, _ in stems.most_common(self.wordlist_size)]
+        if not self.wordlist:
+            raise ValueError("corpus produced no usable wordlist")
+        self._fitted = True
+        return self
+
+    def sample_passwords(self, count: int, rng: np.random.Generator) -> List[str]:
+        """Generate ``count`` guesses by randomized rule application."""
+        if not self._fitted:
+            raise RuntimeError("fit() the guesser first")
+        engine = RuleEngine(rng)
+        guesses: List[str] = []
+        words = self.wordlist
+        while len(guesses) < count:
+            word = words[int(rng.integers(0, len(words)))]
+            guess = engine.stochastic_variant(word)[: self.max_length]
+            if guess:
+                guesses.append(guess)
+        return guesses[:count]

@@ -1,0 +1,259 @@
+"""Command-line interface.
+
+Every workflow in the library is reachable from the shell::
+
+    python -m repro.cli synthesize --count 20000 --out corpus.txt
+    python -m repro.cli train --corpus corpus.txt --train-size 5000 \
+        --epochs 40 --out model.npz
+    python -m repro.cli sample --model model.npz --count 20
+    python -m repro.cli attack --model model.npz --corpus corpus.txt \
+        --strategy dynamic+gs --budgets 1000,10000
+    python -m repro.cli interpolate --model model.npz jimmy91 123456
+    python -m repro.cli conditional --model model.npz "love**"
+    python -m repro.cli strength --model model.npz --corpus corpus.txt love12 x9$kQ
+    python -m repro.cli experiments --markdown results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.conditional import ConditionalGuesser
+from repro.core.dynamic import DynamicSampler, DynamicSamplingConfig
+from repro.core.interpolation import interpolate
+from repro.core.model import PassFlow, PassFlowConfig
+from repro.core.penalization import StepPenalization
+from repro.core.sampling import StaticSampler
+from repro.core.smoothing import GaussianSmoother
+from repro.core.strength import StrengthEstimator
+from repro.data.alphabet import compact_alphabet, default_alphabet
+from repro.data.dataset import PasswordDataset
+from repro.data.rockyou import load_password_file
+from repro.data.synthetic import SyntheticConfig, SyntheticRockYou
+from repro.eval.reporting import format_table
+from repro.flows.priors import StandardNormalPrior
+from repro.utils.logging import enable_console_logging
+
+
+def _alphabet(name: str):
+    if name == "compact":
+        return compact_alphabet()
+    if name == "default":
+        return default_alphabet()
+    raise SystemExit(f"unknown alphabet {name!r} (compact|default)")
+
+
+def _read_corpus(path: str, alphabet) -> List[str]:
+    return load_password_file(path, alphabet=alphabet)
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_synthesize(args) -> int:
+    alphabet = _alphabet(args.alphabet)
+    config = SyntheticConfig(
+        vocabulary_size=args.vocabulary_size, max_suffix_digits=args.max_suffix_digits
+    )
+    generator = SyntheticRockYou(np.random.default_rng(args.seed), config, alphabet)
+    corpus = generator.generate(args.count)
+    out = Path(args.out)
+    out.write_text("\n".join(corpus) + "\n")
+    print(f"wrote {len(corpus)} passwords to {out}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    alphabet = _alphabet(args.alphabet)
+    corpus = _read_corpus(args.corpus, alphabet)
+    if args.train_size and args.train_size < len(corpus):
+        corpus = corpus[: args.train_size]
+    config = PassFlowConfig(
+        alphabet_chars=alphabet.chars,
+        num_couplings=args.couplings,
+        hidden=args.hidden,
+        batch_size=args.batch_size,
+        epochs=args.epochs,
+        mask_strategy=args.mask,
+        seed=args.seed,
+    )
+    model = PassFlow(config)
+    print(f"training on {len(corpus)} passwords ({args.epochs} epochs)...")
+    history = model.fit(PasswordDataset(corpus, [], model.encoder), verbose=True)
+    path = model.save(args.out)
+    print(f"final NLL {history.nll[-1]:.3f}; checkpoint saved to {path}")
+    return 0
+
+
+def cmd_sample(args) -> int:
+    model = PassFlow.load(args.model)
+    prior = StandardNormalPrior(model.config.max_length, sigma=args.temperature)
+    samples = model.sample_passwords(
+        args.count, rng=np.random.default_rng(args.seed), prior=prior
+    )
+    for sample in samples:
+        print(sample)
+    return 0
+
+
+def cmd_attack(args) -> int:
+    model = PassFlow.load(args.model)
+    corpus = _read_corpus(args.corpus, model.alphabet)
+    split = int(len(corpus) * 0.5)
+    dataset = PasswordDataset(corpus[:split] or corpus, corpus[split:], model.encoder)
+    test_set = dataset.test_set
+    budgets = sorted(int(b) for b in args.budgets.split(","))
+    rng = np.random.default_rng(args.seed)
+    print(f"attacking {len(test_set)} cleaned targets, budgets {budgets}")
+
+    if args.strategy == "static":
+        prior = StandardNormalPrior(model.config.max_length, sigma=args.temperature)
+        report = StaticSampler(model, prior=prior).attack(test_set, budgets, rng)
+    else:
+        config = DynamicSamplingConfig(
+            alpha=args.alpha, sigma=args.sigma, phi=StepPenalization(args.gamma)
+        )
+        smoother = GaussianSmoother(model.encoder) if args.strategy == "dynamic+gs" else None
+        report = DynamicSampler(model, config, smoother=smoother).attack(
+            test_set, budgets, rng, method=f"PassFlow-{args.strategy}"
+        )
+
+    rows = [
+        [row.guesses, row.unique, row.matched, round(row.match_percent, 2)]
+        for row in report.rows
+    ]
+    print(format_table(["guesses", "unique", "matched", "% of test"], rows))
+    return 0
+
+
+def cmd_interpolate(args) -> int:
+    model = PassFlow.load(args.model)
+    path = interpolate(model, args.start, args.target, steps=args.steps)
+    print(" -> ".join(path))
+    return 0
+
+
+def cmd_conditional(args) -> int:
+    model = PassFlow.load(args.model)
+    guesser = ConditionalGuesser(model, population=args.population)
+    guesses = guesser.guess(
+        args.template,
+        rounds=args.rounds,
+        top_k=args.top_k,
+        rng=np.random.default_rng(args.seed),
+    )
+    for guess in guesses:
+        print(guess)
+    return 0
+
+
+def cmd_strength(args) -> int:
+    model = PassFlow.load(args.model)
+    estimator = StrengthEstimator(model)
+    if args.corpus:
+        estimator.calibrate(_read_corpus(args.corpus, model.alphabet)[:5000])
+    rows = []
+    for entry in estimator.report(args.passwords):
+        rows.append(list(entry.values()))
+    headers = ["password", "log_prob"] + (["percentile", "band"] if estimator.calibrated else [])
+    print(format_table(headers, rows))
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.eval import run_all as runner
+
+    argv = ["--markdown", args.markdown] if args.markdown else []
+    return runner.main(argv)
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("-v", "--verbose", action="store_true", help="console logging")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("synthesize", help="generate a synthetic RockYou-like corpus")
+    p.add_argument("--count", type=int, default=20000)
+    p.add_argument("--out", required=True)
+    p.add_argument("--alphabet", default="compact")
+    p.add_argument("--vocabulary-size", type=int, default=30)
+    p.add_argument("--max-suffix-digits", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_synthesize)
+
+    p = sub.add_parser("train", help="train a PassFlow model on a password file")
+    p.add_argument("--corpus", required=True)
+    p.add_argument("--out", required=True)
+    p.add_argument("--alphabet", default="compact")
+    p.add_argument("--train-size", type=int, default=0)
+    p.add_argument("--couplings", type=int, default=8)
+    p.add_argument("--hidden", type=int, default=48)
+    p.add_argument("--batch-size", type=int, default=256)
+    p.add_argument("--epochs", type=int, default=40)
+    p.add_argument("--mask", default="char-run-1")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("sample", help="generate password guesses")
+    p.add_argument("--model", required=True)
+    p.add_argument("--count", type=int, default=20)
+    p.add_argument("--temperature", type=float, default=0.75)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_sample)
+
+    p = sub.add_parser("attack", help="run a guessing attack against a password file")
+    p.add_argument("--model", required=True)
+    p.add_argument("--corpus", required=True)
+    p.add_argument("--strategy", choices=("static", "dynamic", "dynamic+gs"), default="dynamic+gs")
+    p.add_argument("--budgets", default="1000,10000")
+    p.add_argument("--temperature", type=float, default=0.75)
+    p.add_argument("--alpha", type=int, default=1)
+    p.add_argument("--sigma", type=float, default=0.12)
+    p.add_argument("--gamma", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_attack)
+
+    p = sub.add_parser("interpolate", help="latent interpolation between two passwords")
+    p.add_argument("--model", required=True)
+    p.add_argument("start")
+    p.add_argument("target")
+    p.add_argument("--steps", type=int, default=10)
+    p.set_defaults(func=cmd_interpolate)
+
+    p = sub.add_parser("conditional", help="complete a partial password template (* = unknown)")
+    p.add_argument("--model", required=True)
+    p.add_argument("template")
+    p.add_argument("--population", type=int, default=128)
+    p.add_argument("--rounds", type=int, default=8)
+    p.add_argument("--top-k", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_conditional)
+
+    p = sub.add_parser("strength", help="estimate password strength with the model")
+    p.add_argument("--model", required=True)
+    p.add_argument("--corpus", help="reference corpus for percentile calibration")
+    p.add_argument("passwords", nargs="+")
+    p.set_defaults(func=cmd_strength)
+
+    p = sub.add_parser("experiments", help="regenerate every paper table/figure")
+    p.add_argument("--markdown", help="write consolidated markdown report here")
+    p.set_defaults(func=cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.verbose:
+        enable_console_logging()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,180 @@
+"""Guessing-attack accounting and reports.
+
+Every evaluation in the paper reduces to: generate N guesses from some
+model/sampler, count how many *unique test-set passwords* were matched and
+how many *unique guesses* were produced, at a series of guess budgets
+(Tables II and III).  This module owns that accounting so every sampler and
+baseline reports identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+
+@dataclass
+class BudgetRow:
+    """One row of a Table II/III-style report."""
+
+    guesses: int
+    unique: int
+    matched: int
+    match_percent: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "guesses": self.guesses,
+            "unique": self.unique,
+            "matched": self.matched,
+            "match_percent": self.match_percent,
+        }
+
+
+@dataclass
+class GuessingReport:
+    """Full result of one guessing attack."""
+
+    method: str
+    test_size: int
+    rows: List[BudgetRow] = field(default_factory=list)
+    non_matched_samples: List[str] = field(default_factory=list)
+    matched_samples: List[str] = field(default_factory=list)
+
+    def row_at(self, guesses: int) -> BudgetRow:
+        for row in self.rows:
+            if row.guesses == guesses:
+                return row
+        raise KeyError(f"no checkpoint at {guesses} guesses")
+
+    def final(self) -> BudgetRow:
+        if not self.rows:
+            raise ValueError("report has no rows")
+        return self.rows[-1]
+
+
+class GuessAccounting:
+    """Streaming accounting of generated guesses against a test set.
+
+    Mirrors Algorithm 1's bookkeeping: ``total`` counts every generated
+    guess (the num_guesses budget), ``unique`` the distinct guesses,
+    ``matched`` the distinct test-set passwords hit (the set P).  Checkpoint
+    rows are emitted exactly when the total crosses each requested budget.
+    """
+
+    def __init__(
+        self,
+        test_set: Set[str],
+        budgets: Sequence[int],
+        sample_cap: int = 16,
+    ) -> None:
+        if not budgets:
+            raise ValueError("at least one guess budget is required")
+        if sorted(budgets) != list(budgets):
+            raise ValueError("budgets must be sorted ascending")
+        if len(set(budgets)) != len(budgets):
+            raise ValueError("budgets must be distinct")
+        self.test_set = test_set
+        self.budgets = list(budgets)
+        self.sample_cap = sample_cap
+        self.total = 0
+        self.unique: Set[str] = set()
+        self.matched: Set[str] = set()
+        self.rows: List[BudgetRow] = []
+        self.non_matched_samples: List[str] = []
+        self.matched_samples: List[str] = []
+        self._next_budget_index = 0
+
+    @property
+    def done(self) -> bool:
+        """True once the largest budget has been reached."""
+        return self._next_budget_index >= len(self.budgets)
+
+    @property
+    def remaining(self) -> int:
+        """Guesses still to generate before the final budget."""
+        if self.done:
+            return 0
+        return self.budgets[-1] - self.total
+
+    def observe(self, passwords: Iterable[str]) -> List[int]:
+        """Account a batch; returns indices (within batch) of new matches."""
+        new_match_indices: List[int] = []
+        for i, password in enumerate(passwords):
+            if self.done:
+                break
+            self.total += 1
+            if password not in self.unique:
+                self.unique.add(password)
+                if password in self.test_set:
+                    if password not in self.matched:
+                        self.matched.add(password)
+                        new_match_indices.append(i)
+                        if len(self.matched_samples) < self.sample_cap:
+                            self.matched_samples.append(password)
+                elif len(self.non_matched_samples) < self.sample_cap and password:
+                    self.non_matched_samples.append(password)
+            elif password in self.test_set and password not in self.matched:
+                self.matched.add(password)
+                new_match_indices.append(i)
+            self._maybe_checkpoint()
+        return new_match_indices
+
+    def _maybe_checkpoint(self) -> None:
+        while (
+            self._next_budget_index < len(self.budgets)
+            and self.total >= self.budgets[self._next_budget_index]
+        ):
+            budget = self.budgets[self._next_budget_index]
+            percent = 100.0 * len(self.matched) / len(self.test_set) if self.test_set else 0.0
+            self.rows.append(
+                BudgetRow(
+                    guesses=budget,
+                    unique=len(self.unique),
+                    matched=len(self.matched),
+                    match_percent=percent,
+                )
+            )
+            self._next_budget_index += 1
+
+    def report(self, method: str) -> GuessingReport:
+        """Finalize into a :class:`GuessingReport`."""
+        return GuessingReport(
+            method=method,
+            test_size=len(self.test_set),
+            rows=list(self.rows),
+            non_matched_samples=list(self.non_matched_samples),
+            matched_samples=list(self.matched_samples),
+        )
+
+
+class GuessingAttack:
+    """Facade running any string generator through the accounting.
+
+    ``generator`` is anything with ``sample_passwords(count, rng)`` or a
+    plain callable ``(count, rng) -> list[str]``; this covers PassFlow in
+    static mode and all the baselines.  Dynamic Sampling has its own driver
+    (:class:`repro.core.dynamic.DynamicSampler`) because it feeds matches
+    back into the prior.
+    """
+
+    def __init__(
+        self,
+        test_set: Set[str],
+        budgets: Sequence[int],
+        batch_size: int = 2048,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.test_set = set(test_set)
+        self.budgets = list(budgets)
+        self.batch_size = batch_size
+
+    def run(self, generator, rng, method: str = "generator") -> GuessingReport:
+        """Generate up to the final budget and return the report."""
+        generate = getattr(generator, "sample_passwords", generator)
+        accounting = GuessAccounting(self.test_set, self.budgets)
+        while not accounting.done:
+            count = min(self.batch_size, accounting.remaining)
+            accounting.observe(generate(count, rng))
+        return accounting.report(method)

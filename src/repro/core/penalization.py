@@ -1,0 +1,81 @@
+"""Penalization functions phi (Sec. III-B, IV-B).
+
+phi weights each matched latent point in the Eq. 14 mixture as a function of
+how many iterations it has conditioned the prior (its usage count).  The
+paper's experiments use a step function: weight 1 while the count is below a
+threshold gamma, 0 after.  Sec. VII proposes studying other functions; we
+provide smooth decays and ship an ablation benchmark comparing them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PhiFunction:
+    """Maps a vector of usage counts to mixture weights in [0, 1]."""
+
+    def __call__(self, usage_counts: np.ndarray) -> np.ndarray:
+        counts = np.asarray(usage_counts, dtype=np.float64)
+        if np.any(counts < 0):
+            raise ValueError("usage counts must be non-negative")
+        return self._weights(counts)
+
+    def _weights(self, counts: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class NoPenalization(PhiFunction):
+    """phi = 1: uniform weighting regardless of history.
+
+    This is the Pasquini et al. [33] weighting and the "without phi" arm of
+    Fig. 5.
+    """
+
+    def _weights(self, counts: np.ndarray) -> np.ndarray:
+        return np.ones_like(counts)
+
+
+class StepPenalization(PhiFunction):
+    """The paper's phi: 1 while count < gamma, 0 afterwards (Sec. IV-B)."""
+
+    def __init__(self, gamma: int) -> None:
+        if gamma < 1:
+            raise ValueError("gamma must be >= 1")
+        self.gamma = int(gamma)
+
+    def _weights(self, counts: np.ndarray) -> np.ndarray:
+        return (counts < self.gamma).astype(np.float64)
+
+    def __repr__(self) -> str:
+        return f"StepPenalization(gamma={self.gamma})"
+
+
+class LinearDecayPenalization(PhiFunction):
+    """Weight decays linearly from 1 to 0 over ``horizon`` uses."""
+
+    def __init__(self, horizon: int) -> None:
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        self.horizon = int(horizon)
+
+    def _weights(self, counts: np.ndarray) -> np.ndarray:
+        return np.clip(1.0 - counts / self.horizon, 0.0, 1.0)
+
+    def __repr__(self) -> str:
+        return f"LinearDecayPenalization(horizon={self.horizon})"
+
+
+class ExponentialDecayPenalization(PhiFunction):
+    """Weight = decay^count; never exactly zero but vanishing."""
+
+    def __init__(self, decay: float = 0.5) -> None:
+        if not 0.0 < decay < 1.0:
+            raise ValueError("decay must be in (0, 1)")
+        self.decay = float(decay)
+
+    def _weights(self, counts: np.ndarray) -> np.ndarray:
+        return self.decay**counts
+
+    def __repr__(self) -> str:
+        return f"ExponentialDecayPenalization(decay={self.decay})"

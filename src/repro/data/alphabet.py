@@ -1,0 +1,74 @@
+"""Character alphabet: the symbol set passwords are drawn from.
+
+Index 0 is reserved for the padding symbol that fills passwords shorter than
+the model's fixed length (10, per Sec. IV-D).  Real characters occupy
+indices ``1..len(chars)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+LOWERCASE = "abcdefghijklmnopqrstuvwxyz"
+UPPERCASE = LOWERCASE.upper()
+DIGITS = "0123456789"
+SYMBOLS = "!@#$%&*._-+?"
+
+
+class Alphabet:
+    """Bidirectional char <-> index mapping with a reserved PAD slot."""
+
+    PAD_INDEX = 0
+    PAD_CHAR = "\x00"
+
+    def __init__(self, chars: str) -> None:
+        if len(set(chars)) != len(chars):
+            raise ValueError("alphabet contains duplicate characters")
+        if self.PAD_CHAR in chars:
+            raise ValueError("NUL is reserved for padding")
+        if not chars:
+            raise ValueError("alphabet must not be empty")
+        self.chars = chars
+        self._to_index = {ch: i + 1 for i, ch in enumerate(chars)}
+        self._to_char = {i + 1: ch for i, ch in enumerate(chars)}
+
+    def __len__(self) -> int:
+        """Number of symbols including PAD (this is the normalization base)."""
+        return len(self.chars) + 1
+
+    def __contains__(self, ch: str) -> bool:
+        return ch in self._to_index
+
+    def index_of(self, ch: str) -> int:
+        """Index of a character; raises KeyError for out-of-alphabet chars."""
+        try:
+            return self._to_index[ch]
+        except KeyError:
+            raise KeyError(f"character {ch!r} not in alphabet") from None
+
+    def char_at(self, index: int) -> str:
+        """Character at ``index``; PAD maps to the empty string."""
+        if index == self.PAD_INDEX:
+            return ""
+        try:
+            return self._to_char[index]
+        except KeyError:
+            raise KeyError(f"index {index} out of alphabet range") from None
+
+    def is_representable(self, password: str) -> bool:
+        """Whether every character of ``password`` is in the alphabet."""
+        return all(ch in self._to_index for ch in password)
+
+    def filter_representable(self, passwords: Iterable[str]) -> List[str]:
+        """Keep only passwords fully covered by this alphabet."""
+        return [p for p in passwords if self.is_representable(p)]
+
+
+def default_alphabet() -> Alphabet:
+    """Alphabet covering the character classes common in leaked corpora."""
+    return Alphabet(LOWERCASE + UPPERCASE + DIGITS + SYMBOLS)
+
+
+def compact_alphabet() -> Alphabet:
+    """Smaller alphabet (lowercase + digits) for fast unit tests."""
+    return Alphabet(LOWERCASE + DIGITS)

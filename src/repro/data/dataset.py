@@ -1,0 +1,137 @@
+"""Dataset assembly: the paper's 80/20 split and test-set cleaning.
+
+Sec. IV-D: the corpus is split 80/20; a small subset of the training side
+(300K of ~23.5M) actually trains PassFlow; the test side is cleaned by
+"removing duplicates and intersection with the training set" so match rates
+measure generalization rather than memorization.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.data.encoding import PasswordEncoder
+
+
+def train_test_split(
+    passwords: Sequence[str],
+    rng: np.random.Generator,
+    train_fraction: float = 0.8,
+) -> Tuple[List[str], List[str]]:
+    """Shuffle and split a corpus into train/test multisets."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    order = rng.permutation(len(passwords))
+    cut = int(round(len(passwords) * train_fraction))
+    train = [passwords[i] for i in order[:cut]]
+    test = [passwords[i] for i in order[cut:]]
+    return train, test
+
+
+def clean_test_set(test: Sequence[str], train: Sequence[str]) -> List[str]:
+    """Deduplicate the test set and remove its intersection with training.
+
+    This is exactly the cleaning of Sec. IV-D / Sec. V-A, "to provide a
+    precise evaluation of the generalization performance of the models,
+    excluding potential overfitting artifacts".
+    """
+    train_set = set(train)
+    seen: Set[str] = set()
+    cleaned: List[str] = []
+    for password in test:
+        if password in train_set or password in seen:
+            continue
+        seen.add(password)
+        cleaned.append(password)
+    return cleaned
+
+
+@dataclass
+class DatasetStats:
+    """Summary statistics of an assembled dataset."""
+
+    train_size: int
+    test_size_raw: int
+    test_size_clean: int
+    train_unique: int
+    mean_length: float
+
+
+class PasswordDataset:
+    """A train corpus + cleaned test set + encoder, with batch iteration.
+
+    Parameters
+    ----------
+    train:
+        Training passwords (multiset; duplicates inform the density model).
+    test_raw:
+        Raw held-out passwords; cleaned on construction.
+    encoder:
+        The numeric codec shared by every model in an experiment.
+    """
+
+    def __init__(
+        self,
+        train: Sequence[str],
+        test_raw: Sequence[str],
+        encoder: PasswordEncoder,
+    ) -> None:
+        self.encoder = encoder
+        self.train = list(train)
+        self.test_raw = list(test_raw)
+        self.test = clean_test_set(self.test_raw, self.train)
+        if not self.train:
+            raise ValueError("training set is empty")
+        self._train_features: np.ndarray | None = None
+
+    @property
+    def train_features(self) -> np.ndarray:
+        """(N, D) float matrix of the training passwords (cached)."""
+        if self._train_features is None:
+            self._train_features = self.encoder.encode_batch(self.train)
+        return self._train_features
+
+    @property
+    def test_set(self) -> Set[str]:
+        """The cleaned test set as a set (the Omega of Algorithm 1)."""
+        return set(self.test)
+
+    def stats(self) -> DatasetStats:
+        """Compute summary statistics."""
+        lengths = [len(p) for p in self.train]
+        return DatasetStats(
+            train_size=len(self.train),
+            test_size_raw=len(self.test_raw),
+            test_size_clean=len(self.test),
+            train_unique=len(set(self.train)),
+            mean_length=float(np.mean(lengths)),
+        )
+
+    def frequency_table(self, top: int = 20) -> List[Tuple[str, int]]:
+        """Most common training passwords (the corpus head)."""
+        return Counter(self.train).most_common(top)
+
+    def batches(
+        self,
+        batch_size: int,
+        rng: np.random.Generator,
+        dequantize: bool = True,
+    ) -> Iterator[np.ndarray]:
+        """Yield shuffled (B, D) feature batches for one epoch.
+
+        Dequantization noise is freshly sampled per epoch, as required for
+        the continuous flow to see the full within-bin mass.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        features = self.train_features
+        order = rng.permutation(len(features))
+        for start in range(0, len(features), batch_size):
+            batch = features[order[start : start + batch_size]]
+            if dequantize:
+                batch = self.encoder.dequantize(batch, rng)
+            yield batch

@@ -1,0 +1,114 @@
+"""Password <-> feature-vector encoding.
+
+Sec. IV-D: "Before feeding the data for training we convert the passwords in
+feature vectors that contain their numerical representation and then we
+normalize by the size of the alphabet."
+
+A password of length <= D becomes a length-D integer vector of alphabet
+indices (PAD-filled), then a float vector by mapping index ``k`` to the bin
+center ``(k + 0.5) / V`` where ``V = len(alphabet)`` (PAD included).  Each
+symbol therefore owns a width-``1/V`` bin in (0, 1); decoding is binning.
+
+Training a continuous-density flow on discrete symbols requires
+dequantization (spreading each symbol's probability mass over its bin);
+:meth:`PasswordEncoder.dequantize` adds uniform noise within the bin, the
+same device Pasquini et al. [33] use for their GAN and the standard practice
+for flows on discrete data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.data.alphabet import Alphabet
+
+
+class PasswordEncoder:
+    """Fixed-length numeric codec for passwords.
+
+    Parameters
+    ----------
+    alphabet:
+        The symbol set.
+    max_length:
+        Model dimensionality D; the paper uses 10.
+    """
+
+    def __init__(self, alphabet: Alphabet, max_length: int = 10) -> None:
+        if max_length < 1:
+            raise ValueError("max_length must be >= 1")
+        self.alphabet = alphabet
+        self.max_length = int(max_length)
+        self.vocab_size = len(alphabet)  # includes PAD
+        self.bin_width = 1.0 / self.vocab_size
+
+    # ------------------------------------------------------------------
+    # string <-> indices
+    # ------------------------------------------------------------------
+    def to_indices(self, password: str) -> np.ndarray:
+        """Integer index vector, PAD-filled to ``max_length``."""
+        if len(password) > self.max_length:
+            raise ValueError(
+                f"password longer than max_length={self.max_length}: {password!r}"
+            )
+        indices = np.full(self.max_length, Alphabet.PAD_INDEX, dtype=np.int64)
+        for i, ch in enumerate(password):
+            indices[i] = self.alphabet.index_of(ch)
+        return indices
+
+    def from_indices(self, indices: Sequence[int]) -> str:
+        """Inverse of :meth:`to_indices`; stops at the first PAD."""
+        chars: List[str] = []
+        for index in indices:
+            if index == Alphabet.PAD_INDEX:
+                break
+            chars.append(self.alphabet.char_at(int(index)))
+        return "".join(chars)
+
+    # ------------------------------------------------------------------
+    # indices <-> floats
+    # ------------------------------------------------------------------
+    def indices_to_floats(self, indices: np.ndarray) -> np.ndarray:
+        """Map indices to bin centers in (0, 1)."""
+        return (np.asarray(indices, dtype=np.float64) + 0.5) * self.bin_width
+
+    def floats_to_indices(self, values: np.ndarray) -> np.ndarray:
+        """Bin float features back to alphabet indices (clipped to range)."""
+        raw = np.floor(np.asarray(values, dtype=np.float64) * self.vocab_size)
+        return np.clip(raw, 0, self.vocab_size - 1).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # batch-level convenience
+    # ------------------------------------------------------------------
+    def encode(self, password: str) -> np.ndarray:
+        """Single password -> float feature vector of shape (D,)."""
+        return self.indices_to_floats(self.to_indices(password))
+
+    def encode_batch(self, passwords: Iterable[str]) -> np.ndarray:
+        """Passwords -> (N, D) float matrix."""
+        rows = [self.to_indices(p) for p in passwords]
+        if not rows:
+            return np.empty((0, self.max_length), dtype=np.float64)
+        return self.indices_to_floats(np.stack(rows))
+
+    def decode(self, values: np.ndarray) -> str:
+        """Float feature vector -> password string."""
+        return self.from_indices(self.floats_to_indices(values))
+
+    def decode_batch(self, values: np.ndarray) -> List[str]:
+        """(N, D) float matrix -> list of passwords."""
+        values = np.atleast_2d(np.asarray(values))
+        index_matrix = self.floats_to_indices(values)
+        return [self.from_indices(row) for row in index_matrix]
+
+    def dequantize(self, features: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Add uniform within-bin noise: U(-w/2, w/2) with w = bin width."""
+        noise = rng.uniform(-0.5 * self.bin_width, 0.5 * self.bin_width, size=features.shape)
+        return features + noise
+
+    def clamp_to_data_range(self, values: np.ndarray) -> np.ndarray:
+        """Clip floats into the open unit interval covered by the bins."""
+        eps = 0.25 * self.bin_width
+        return np.clip(values, eps, 1.0 - eps)

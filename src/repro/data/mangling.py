@@ -1,0 +1,128 @@
+"""Word-mangling rules.
+
+The synthetic RockYou generator applies these rules to base words to emulate
+how humans derive passwords; the same rule engine doubles as the HashCat/JTR
+style rule-based dimension referenced throughout the paper's related work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+LEET_MAP = {
+    "a": "4",
+    "e": "3",
+    "i": "1",
+    "o": "0",
+    "s": "5",
+    "t": "7",
+    "b": "8",
+    "g": "9",
+}
+
+
+def identity(word: str) -> str:
+    """Leave the word unchanged."""
+    return word
+
+
+def capitalize(word: str) -> str:
+    """Uppercase the first character."""
+    return word[:1].upper() + word[1:] if word else word
+
+
+def uppercase(word: str) -> str:
+    """Uppercase the whole word."""
+    return word.upper()
+
+
+def reverse(word: str) -> str:
+    """Reverse the word."""
+    return word[::-1]
+
+
+def leet(word: str) -> str:
+    """Full leet-speak substitution (a->4, e->3, ...)."""
+    return "".join(LEET_MAP.get(ch, ch) for ch in word)
+
+
+def leet_partial(word: str, rng: np.random.Generator, probability: float = 0.5) -> str:
+    """Substitute each leet-able character independently with ``probability``."""
+    out = []
+    for ch in word:
+        if ch in LEET_MAP and rng.random() < probability:
+            out.append(LEET_MAP[ch])
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def append_digits(word: str, rng: np.random.Generator, max_digits: int = 4) -> str:
+    """Append 1..max_digits random digits (skewed toward fewer digits)."""
+    count = 1 + int(rng.geometric(0.55) - 1)
+    count = min(count, max_digits)
+    digits = "".join(str(rng.integers(0, 10)) for _ in range(count))
+    return word + digits
+
+
+def append_year(word: str, rng: np.random.Generator) -> str:
+    """Append a plausible birth/graduation year (2- or 4-digit)."""
+    year = int(rng.integers(1950, 2023))
+    if rng.random() < 0.5:
+        return word + str(year)
+    return word + str(year)[2:]
+
+
+def append_symbol(word: str, rng: np.random.Generator) -> str:
+    """Append one common trailing symbol."""
+    return word + str(rng.choice(list("!.@#*_-?")))
+
+
+DETERMINISTIC_RULES: Dict[str, Callable[[str], str]] = {
+    "identity": identity,
+    "capitalize": capitalize,
+    "uppercase": uppercase,
+    "reverse": reverse,
+    "leet": leet,
+}
+
+
+class RuleEngine:
+    """Apply mangling-rule chains to a wordlist, HashCat-style.
+
+    ``expand`` generates, for each word, the word under every deterministic
+    rule plus ``samples_per_word`` stochastic variants; this is the
+    rule-based guess generator used as an extra baseline.
+    """
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    def stochastic_variant(self, word: str) -> str:
+        """One random mangling chain applied to ``word``."""
+        base = word
+        roll = self.rng.random()
+        if roll < 0.25:
+            base = capitalize(base)
+        elif roll < 0.35:
+            base = leet_partial(base, self.rng)
+        suffix_roll = self.rng.random()
+        if suffix_roll < 0.45:
+            base = append_digits(base, self.rng)
+        elif suffix_roll < 0.70:
+            base = append_year(base, self.rng)
+        elif suffix_roll < 0.80:
+            base = append_symbol(base, self.rng)
+        return base
+
+    def expand(self, words: List[str], samples_per_word: int = 4) -> List[str]:
+        """Deterministic rules + stochastic variants for every word."""
+        guesses: List[str] = []
+        for word in words:
+            for rule in DETERMINISTIC_RULES.values():
+                guesses.append(rule(word))
+            for _ in range(samples_per_word):
+                guesses.append(self.stochastic_variant(word))
+        return guesses

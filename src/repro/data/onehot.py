@@ -1,0 +1,92 @@
+"""One-hot password encoding.
+
+PassGAN and the Pasquini et al. GAN operate on one-hot character matrices
+(the generator emits a per-position distribution over the alphabet; the
+paper's Sec. VI-B "stochastic smoothing" perturbs exactly this
+representation).  This codec provides that representation for the GAN/CWAE
+baselines, complementing the numeric bin encoding PassFlow itself uses
+(Sec. IV-D).
+
+Layout: a password becomes an (L, V) matrix flattened to length L*V, where
+V includes the PAD symbol at index 0.  ``decode`` accepts *soft* rows
+(probabilities or logits) and takes the per-position argmax, which is how
+GAN generator outputs are read back into strings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.data.alphabet import Alphabet
+
+
+class OneHotEncoder:
+    """Fixed-length one-hot codec for passwords."""
+
+    def __init__(self, alphabet: Alphabet, max_length: int = 10) -> None:
+        if max_length < 1:
+            raise ValueError("max_length must be >= 1")
+        self.alphabet = alphabet
+        self.max_length = int(max_length)
+        self.vocab_size = len(alphabet)  # includes PAD
+        self.flat_dim = self.max_length * self.vocab_size
+
+    # ------------------------------------------------------------------
+    def encode(self, password: str) -> np.ndarray:
+        """Password -> flat one-hot vector of length L*V."""
+        if len(password) > self.max_length:
+            raise ValueError(
+                f"password longer than max_length={self.max_length}: {password!r}"
+            )
+        matrix = np.zeros((self.max_length, self.vocab_size))
+        for position in range(self.max_length):
+            if position < len(password):
+                matrix[position, self.alphabet.index_of(password[position])] = 1.0
+            else:
+                matrix[position, Alphabet.PAD_INDEX] = 1.0
+        return matrix.ravel()
+
+    def encode_batch(self, passwords: Iterable[str]) -> np.ndarray:
+        """Passwords -> (N, L*V) one-hot matrix."""
+        rows = [self.encode(p) for p in passwords]
+        if not rows:
+            return np.empty((0, self.flat_dim))
+        return np.stack(rows)
+
+    # ------------------------------------------------------------------
+    def decode(self, flat: np.ndarray) -> str:
+        """Flat (possibly soft) vector -> password via per-position argmax."""
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.size != self.flat_dim:
+            raise ValueError(f"expected length {self.flat_dim}, got {flat.size}")
+        matrix = flat.reshape(self.max_length, self.vocab_size)
+        indices = matrix.argmax(axis=1)
+        chars: List[str] = []
+        for index in indices:
+            if index == Alphabet.PAD_INDEX:
+                break
+            chars.append(self.alphabet.char_at(int(index)))
+        return "".join(chars)
+
+    def decode_batch(self, flats: np.ndarray) -> List[str]:
+        """(N, L*V) soft matrix -> passwords."""
+        flats = np.atleast_2d(np.asarray(flats))
+        return [self.decode(row) for row in flats]
+
+    def smooth(self, onehot: np.ndarray, rng: np.random.Generator, gamma: float = 0.01) -> np.ndarray:
+        """Pasquini-style stochastic smoothing of one-hot rows.
+
+        Adds uniform noise U(0, gamma) to every coordinate and renormalizes
+        each position to sum to one -- the trick that stabilizes long GAN
+        training (Sec. VI-B).
+        """
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        noisy = np.asarray(onehot, dtype=np.float64) + rng.uniform(
+            0.0, gamma, size=np.shape(onehot)
+        )
+        shaped = noisy.reshape(-1, self.max_length, self.vocab_size)
+        shaped = shaped / shaped.sum(axis=2, keepdims=True)
+        return shaped.reshape(np.shape(onehot))

@@ -1,0 +1,236 @@
+"""Synthetic RockYou-like password corpus.
+
+The paper evaluates on the RockYou leak, which we neither ship nor can
+download offline.  This module is the documented substitution (DESIGN.md):
+a seeded generator whose output mimics the structural properties of
+human-chosen passwords that every model in the paper exploits:
+
+* a heavy head of extremely common passwords ("123456", "password", ...),
+  sampled with Zipfian frequencies like a real leak,
+* a long tail of name/word stems mangled with digit, year and symbol
+  suffixes, capitalization and leet substitutions,
+* digit-only PINs and keyboard walks,
+* natural duplicates (the raw corpus is a multiset, as a real dump is).
+
+Passwords are guaranteed representable in the target alphabet and at most
+``max_length`` characters (Sec. IV-D trains on length <= 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.data.alphabet import Alphabet, default_alphabet
+from repro.data import mangling
+
+# Head of the real RockYou frequency table (public knowledge; no user data).
+COMMON_HEAD = [
+    "123456", "12345", "123456789", "password", "iloveyou", "princess",
+    "1234567", "rockyou", "12345678", "abc123", "nicole", "daniel",
+    "babygirl", "monkey", "lovely", "jessica", "654321", "michael",
+    "ashley", "qwerty", "111111", "iloveu", "000000", "michelle",
+    "tigger", "sunshine", "chocolate", "password1", "soccer", "anthony",
+    "friends", "butterfly", "purple", "angel", "jordan", "liverpool",
+    "justin", "loveme", "fuckyou", "123123", "football", "secret",
+    "andrea", "carlos", "jennifer", "joshua", "bubbles", "1234567890",
+    "superman", "hannah", "amanda", "loveyou", "pretty", "basketball",
+    "andrew", "angels", "tweety", "flower", "playboy", "hello",
+]
+
+NAMES = [
+    "james", "john", "robert", "mary", "patricia", "linda", "barbara",
+    "elizabeth", "jenny", "maria", "susan", "margaret", "dorothy", "lisa",
+    "nancy", "karen", "betty", "helen", "sandra", "donna", "carol", "ruth",
+    "sharon", "laura", "sarah", "kim", "deborah", "jason", "matthew",
+    "gary", "timothy", "jose", "larry", "jeffrey", "frank", "scott",
+    "eric", "stephen", "jacob", "raymond", "patrick", "sean", "adam",
+    "jerry", "dennis", "tyler", "samuel", "gregory", "henry", "douglas",
+    "peter", "zachary", "kyle", "walter", "harold", "carl", "jeremy",
+    "keith", "roger", "arthur", "terry", "lawrence", "jesse", "alan",
+    "bryan", "louis", "billy", "bruce", "bobby", "diana", "emma", "lucas",
+    "sofia", "diego", "valeria", "camila", "mateo", "pablo", "lucia",
+    "marco", "elena", "ivan", "olga", "dmitri", "yuki", "hana", "kenji",
+    "mei", "wei", "ling", "raj", "priya", "amit", "fatima", "omar",
+    "layla", "ahmed", "chloe", "louise", "manon", "hugo", "lea",
+]
+
+WORDS = [
+    "love", "baby", "angel", "heart", "girl", "friend", "family", "happy",
+    "smile", "dream", "music", "dance", "star", "moon", "summer", "winter",
+    "spring", "autumn", "shadow", "dragon", "tiger", "eagle", "wolf",
+    "panda", "kitty", "puppy", "bunny", "candy", "sugar", "honey", "cookie",
+    "banana", "apple", "cherry", "mango", "peach", "berry", "pepper",
+    "ginger", "coffee", "pizza", "soccer", "hockey", "tennis", "boxing",
+    "racing", "gamer", "ninja", "pirate", "wizard", "knight", "queen",
+    "king", "prince", "diamond", "silver", "golden", "purple", "orange",
+    "yellow", "green", "black", "white", "pink", "blue", "red", "crazy",
+    "sweet", "cute", "sexy", "cool", "rock", "metal", "guitar", "piano",
+    "beach", "ocean", "river", "mountain", "forest", "storm", "thunder",
+    "light", "spirit", "legend", "master", "hunter", "rider", "flying",
+    "magic", "lucky", "crystal", "flame", "frozen", "velvet", "cosmic",
+]
+
+KEYBOARD_WALKS = [
+    "qwerty", "qwertyuiop", "asdfgh", "asdfghjkl", "zxcvbnm", "qazwsx",
+    "1q2w3e4r", "1qaz2wsx", "q1w2e3r4", "zaq12wsx", "qweasd", "poiuyt",
+]
+
+
+@dataclass
+class SyntheticConfig:
+    """Knobs of the corpus generator.
+
+    ``pattern_weights`` control the mixture of generation patterns; they are
+    normalized internally so any positive numbers work.  ``zipf_exponent``
+    shapes the rank-frequency curve of word/name stems.
+    """
+
+    max_length: int = 10
+    zipf_exponent: float = 1.05
+    vocabulary_size: int | None = None  # slice of the word/name lists, None = all
+    max_suffix_digits: int = 4
+    pattern_weights: Dict[str, float] = field(
+        default_factory=lambda: {
+            "head": 0.14,
+            "word": 0.08,
+            "name": 0.07,
+            "word_digits": 0.19,
+            "name_digits": 0.16,
+            "word_year": 0.08,
+            "leet_word": 0.05,
+            "capitalized_digits": 0.07,
+            "digits_only": 0.08,
+            "two_words": 0.04,
+            "keyboard_walk": 0.04,
+        }
+    )
+
+
+class SyntheticRockYou:
+    """Seeded generator of a RockYou-like password multiset."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        config: SyntheticConfig | None = None,
+        alphabet: Alphabet | None = None,
+    ) -> None:
+        self.rng = rng
+        self.config = config or SyntheticConfig()
+        self.alphabet = alphabet or default_alphabet()
+        weights = self.config.pattern_weights
+        if not weights:
+            raise ValueError("pattern_weights must not be empty")
+        if any(w < 0 for w in weights.values()):
+            raise ValueError("pattern_weights must be non-negative")
+        total = sum(weights.values())
+        if total <= 0:
+            raise ValueError("pattern_weights must sum to a positive value")
+        self._patterns = list(weights)
+        self._probs = np.array([weights[p] / total for p in self._patterns])
+        self._zipf_cache: Dict[int, np.ndarray] = {}
+        cut = self.config.vocabulary_size
+        if cut is not None and cut < 1:
+            raise ValueError("vocabulary_size must be >= 1")
+        self._words = WORDS if cut is None else WORDS[:cut]
+        self._names = NAMES if cut is None else NAMES[:cut]
+
+    # ------------------------------------------------------------------
+    # sampling helpers
+    # ------------------------------------------------------------------
+    def _zipf_probs(self, n: int) -> np.ndarray:
+        if n not in self._zipf_cache:
+            ranks = np.arange(1, n + 1, dtype=np.float64)
+            weights = ranks ** (-self.config.zipf_exponent)
+            self._zipf_cache[n] = weights / weights.sum()
+        return self._zipf_cache[n]
+
+    def _zipf_choice(self, items: Sequence[str]) -> str:
+        probs = self._zipf_probs(len(items))
+        return items[int(self.rng.choice(len(items), p=probs))]
+
+    def _fit(self, password: str) -> str:
+        """Truncate to max_length and coerce into the alphabet.
+
+        Characters outside the alphabet are first lowercased (so a compact
+        lowercase alphabet keeps capitalized patterns as their lowercase
+        form rather than mangling them) and dropped only as a last resort.
+        """
+        trimmed = password[: self.config.max_length]
+        out = []
+        for ch in trimmed:
+            if ch in self.alphabet:
+                out.append(ch)
+            elif ch.lower() in self.alphabet:
+                out.append(ch.lower())
+        return "".join(out)
+
+    # ------------------------------------------------------------------
+    # patterns
+    # ------------------------------------------------------------------
+    def _pattern_head(self) -> str:
+        return self._zipf_choice(COMMON_HEAD)
+
+    def _pattern_word(self) -> str:
+        return self._zipf_choice(self._words)
+
+    def _pattern_name(self) -> str:
+        return self._zipf_choice(self._names)
+
+    def _pattern_word_digits(self) -> str:
+        return mangling.append_digits(self._zipf_choice(self._words), self.rng, max_digits=self.config.max_suffix_digits)
+
+    def _pattern_name_digits(self) -> str:
+        return mangling.append_digits(self._zipf_choice(self._names), self.rng, max_digits=self.config.max_suffix_digits)
+
+    def _pattern_word_year(self) -> str:
+        stem = self._zipf_choice(self._words + self._names)
+        return mangling.append_year(stem, self.rng)
+
+    def _pattern_leet_word(self) -> str:
+        return mangling.leet_partial(self._zipf_choice(self._words), self.rng, probability=0.6)
+
+    def _pattern_capitalized_digits(self) -> str:
+        stem = mangling.capitalize(self._zipf_choice(self._words + self._names))
+        return mangling.append_digits(stem, self.rng, max_digits=min(3, self.config.max_suffix_digits))
+
+    def _pattern_digits_only(self) -> str:
+        length = int(self.rng.integers(4, 9))
+        if self.rng.random() < 0.3:  # repeated/sequential PINs are common
+            digit = str(self.rng.integers(0, 10))
+            return digit * length
+        start = int(self.rng.integers(0, 10))
+        return "".join(str((start + i) % 10) for i in range(length))
+
+    def _pattern_two_words(self) -> str:
+        first = self._zipf_choice(self._words)
+        second = self._zipf_choice(self._words)
+        return first + second
+
+    def _pattern_keyboard_walk(self) -> str:
+        walk = str(self.rng.choice(KEYBOARD_WALKS))
+        if self.rng.random() < 0.3:
+            walk = mangling.append_digits(walk, self.rng, max_digits=2)
+        return walk
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def sample(self) -> str:
+        """Draw one password (never empty, always representable)."""
+        for _ in range(32):
+            pattern = self._patterns[int(self.rng.choice(len(self._patterns), p=self._probs))]
+            raw = getattr(self, f"_pattern_{pattern}")()
+            fitted = self._fit(raw)
+            if fitted:
+                return fitted
+        raise RuntimeError("synthetic generator failed to produce a password")
+
+    def generate(self, count: int) -> List[str]:
+        """Draw ``count`` passwords (a multiset; duplicates are expected)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.sample() for _ in range(count)]

@@ -1,0 +1,28 @@
+"""Evaluation harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.eval.harness` -- shared experiment context: scaled corpus,
+  trained models (disk-cached), scale profiles,
+* :mod:`repro.eval.metrics` -- match/unique/plausibility/cluster metrics,
+* :mod:`repro.eval.reporting` -- text/markdown table rendering,
+* :mod:`repro.eval.experiments` -- one driver per paper table/figure.
+"""
+
+from repro.eval.harness import BenchmarkSettings, EvalContext
+from repro.eval.metrics import (
+    cluster_separation,
+    match_rate,
+    plausibility_rate,
+    uniqueness_rate,
+)
+from repro.eval.reporting import ExperimentResult, format_table
+
+__all__ = [
+    "EvalContext",
+    "BenchmarkSettings",
+    "match_rate",
+    "uniqueness_rate",
+    "plausibility_rate",
+    "cluster_separation",
+    "ExperimentResult",
+    "format_table",
+]

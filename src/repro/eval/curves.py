@@ -1,0 +1,67 @@
+"""Guess-number curves: the (guesses, matches) series behind the figures.
+
+The paper's figures are curves over guess budgets; this module produces
+log-spaced checkpoint series from any sampler and exports them as CSV so
+users can re-plot with their tool of choice.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.core.guesser import GuessingReport
+
+
+def log_budgets(max_guesses: int, points_per_decade: int = 3, start: int = 100) -> List[int]:
+    """Log-spaced guess budgets from ``start`` to ``max_guesses``.
+
+    >>> log_budgets(10000, points_per_decade=1)
+    [100, 1000, 10000]
+    """
+    if max_guesses < start:
+        raise ValueError("max_guesses must be >= start")
+    if points_per_decade < 1:
+        raise ValueError("points_per_decade must be >= 1")
+    budgets: List[int] = []
+    value = float(start)
+    ratio = 10.0 ** (1.0 / points_per_decade)
+    while value <= max_guesses + 0.5:
+        budget = int(round(value))
+        if not budgets or budget > budgets[-1]:
+            budgets.append(budget)
+        value *= ratio
+    if budgets[-1] != max_guesses:
+        budgets.append(max_guesses)
+    return budgets
+
+
+def curves_to_csv(reports: Sequence[GuessingReport]) -> str:
+    """Render match curves of several reports as a tidy CSV string."""
+    if not reports:
+        raise ValueError("no reports given")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["method", "guesses", "unique", "matched", "match_percent"])
+    for report in reports:
+        for row in report.rows:
+            writer.writerow(
+                [report.method, row.guesses, row.unique, row.matched,
+                 f"{row.match_percent:.4f}"]
+            )
+    return buffer.getvalue()
+
+
+def write_curves(reports: Sequence[GuessingReport], path: str | Path) -> Path:
+    """Write :func:`curves_to_csv` output to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(curves_to_csv(reports))
+    return path
+
+
+def curve_dict(report: GuessingReport) -> Dict[int, int]:
+    """Guesses -> matched mapping for quick lookups/plots."""
+    return {row.guesses: row.matched for row in report.rows}

@@ -1,0 +1,61 @@
+"""Shared attack runs reused by Table II and Table III drivers."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.dynamic import DynamicSampler, DynamicSamplingConfig
+from repro.core.guesser import GuessingAttack, GuessingReport
+from repro.core.penalization import NoPenalization, StepPenalization
+from repro.core.sampling import StaticSampler
+from repro.core.smoothing import GaussianSmoother
+from repro.eval.harness import EvalContext
+from repro.flows.priors import StandardNormalPrior
+
+METHODS = (
+    "PassGAN",
+    "CWAE",
+    "PassFlow-Static",
+    "PassFlow-Dynamic",
+    "PassFlow-Dynamic+GS",
+)
+
+
+def dynamic_config(ctx: EvalContext, with_phi: bool = True) -> DynamicSamplingConfig:
+    """The scaled Dynamic Sampling parameters for this context."""
+    phi = StepPenalization(ctx.DYNAMIC_GAMMA) if with_phi else NoPenalization()
+    return DynamicSamplingConfig(
+        alpha=ctx.DYNAMIC_ALPHA,
+        sigma=ctx.DYNAMIC_SIGMA,
+        phi=phi,
+        batch_size=1024,
+    )
+
+
+def collect_reports(ctx: EvalContext) -> Dict[str, GuessingReport]:
+    """Run (once per context) the five attacks of Tables II/III."""
+    cached = getattr(ctx, "_table23_reports", None)
+    if cached is not None:
+        return cached
+
+    test_set = ctx.test_set
+    budgets = ctx.settings.guess_budgets
+    model = ctx.passflow()
+    prior = StandardNormalPrior(model.config.max_length, sigma=ctx.STATIC_TEMPERATURE)
+
+    reports: Dict[str, GuessingReport] = {}
+    attack = GuessingAttack(test_set, budgets)
+    reports["PassGAN"] = attack.run(ctx.passgan(), ctx.attack_rng("passgan"), "PassGAN")
+    reports["CWAE"] = attack.run(ctx.cwae(), ctx.attack_rng("cwae"), "CWAE")
+    reports["PassFlow-Static"] = StaticSampler(model, prior=prior).attack(
+        test_set, budgets, ctx.attack_rng("static"), method="PassFlow-Static"
+    )
+    reports["PassFlow-Dynamic"] = DynamicSampler(model, dynamic_config(ctx)).attack(
+        test_set, budgets, ctx.attack_rng("dynamic"), method="PassFlow-Dynamic"
+    )
+    reports["PassFlow-Dynamic+GS"] = DynamicSampler(
+        model, dynamic_config(ctx), smoother=GaussianSmoother(model.encoder)
+    ).attack(test_set, budgets, ctx.attack_rng("dynamic-gs"), method="PassFlow-Dynamic+GS")
+
+    ctx._table23_reports = reports
+    return reports

@@ -1,0 +1,50 @@
+"""Fig. 3: latent interpolation between "jimmy91" and "123456".
+
+The paper walks the latent line between the two passwords and shows the
+decoded intermediate strings; most retain human-password structure and
+consecutive samples are similar.  We report the path plus two quantitative
+proxies: plausibility rate of intermediates and mean consecutive edit
+distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.neighborhood import edit_distance
+from repro.core.interpolation import interpolate
+from repro.eval.harness import EvalContext
+from repro.eval.metrics import plausibility_rate
+from repro.eval.reporting import ExperimentResult
+
+START = "jimmy91"
+TARGET = "123456"
+
+
+def run(ctx: EvalContext, start: str = START, target: str = TARGET, steps: int = 10) -> ExperimentResult:
+    """Regenerate the Fig. 3 interpolation path."""
+    model = ctx.passflow()
+    path = interpolate(model, start, target, steps=steps)
+    consecutive = [edit_distance(a, b) for a, b in zip(path[:-1], path[1:])]
+    rows = [[j, password] for j, password in enumerate(path)]
+    return ExperimentResult(
+        name=f"Fig. 3: interpolation {start!r} -> {target!r}",
+        headers=["Step", "Password"],
+        rows=rows,
+        notes={
+            "plausibility": plausibility_rate(path),
+            "mean_consecutive_edit_distance": float(np.mean(consecutive)),
+            "endpoints_exact": (path[0] == start, path[-1] == target),
+        },
+    )
+
+
+def main() -> None:
+    result = run(EvalContext())
+    print(result)
+    print(f"\nplausibility={result.notes['plausibility']:.2f} "
+          f"consecutive edit distance={result.notes['mean_consecutive_edit_distance']:.2f}")
+
+
+if __name__ == "__main__":
+    main()

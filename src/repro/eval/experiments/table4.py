@@ -1,0 +1,59 @@
+"""Table IV: quality of non-matched samples.
+
+The paper shows that even guesses that miss the test set "resemble
+human-like passwords".  We make the claim measurable: collect non-matched
+samples from a PassFlow attack, report (a) the samples themselves, (b) the
+fraction matching human-password structural templates, and (c) the
+total-variation distance between the guess set's structural footprint and
+the real corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.diversity import compare_to_corpus, top_structures
+from repro.core.sampling import StaticSampler
+from repro.eval.harness import EvalContext
+from repro.eval.metrics import plausibility_rate
+from repro.eval.reporting import ExperimentResult
+from repro.flows.priors import StandardNormalPrior
+
+
+def run(ctx: EvalContext, sample_count: int = 2000) -> ExperimentResult:
+    """Regenerate the Table IV analysis at the context's scale."""
+    model = ctx.passflow()
+    prior = StandardNormalPrior(model.config.max_length, sigma=ctx.STATIC_TEMPERATURE)
+    rng = ctx.attack_rng("table4")
+    guesses = [g for g in model.sample_passwords(sample_count, rng=rng, prior=prior) if g]
+    test_set = ctx.test_set
+    non_matched = [g for g in guesses if g not in test_set]
+    report = compare_to_corpus(non_matched, ctx.corpus)
+
+    sample_rows = [non_matched[i : i + 4] for i in range(0, min(36, len(non_matched)), 4)]
+    rows = [row + [""] * (4 - len(row)) for row in sample_rows]
+    return ExperimentResult(
+        name="Table IV: non-matched sample quality",
+        headers=["sample 1", "sample 2", "sample 3", "sample 4"],
+        rows=rows,
+        notes={
+            "plausibility_rate": round(plausibility_rate(non_matched), 3),
+            "structure_tv": round(report.structure_tv, 3),
+            "length_tv": round(report.length_tv, 3),
+            "charclass_tv": round(report.charclass_tv, 3),
+            "unique_fraction": round(report.unique_fraction, 3),
+            "top_generated_structures": top_structures(non_matched, top=5),
+            "top_corpus_structures": top_structures(ctx.corpus, top=5),
+        },
+    )
+
+
+def main() -> None:
+    result = run(EvalContext())
+    print(result)
+    for key in ("plausibility_rate", "structure_tv", "length_tv", "charclass_tv"):
+        print(f"{key}: {result.notes[key]}")
+
+
+if __name__ == "__main__":
+    main()

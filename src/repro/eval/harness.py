@@ -1,0 +1,307 @@
+"""Shared experiment context: scaled corpus and disk-cached trained models.
+
+The paper's experiments share one data pipeline and a handful of trained
+models; this module owns both so every table/figure driver (and every
+benchmark) reuses identical artifacts.
+
+Scale profiles
+--------------
+CPU-only numpy cannot run 10^8-guess attacks on a 23.5M-password corpus, so
+the harness scales everything down while preserving the relative structure
+(DESIGN.md records the substitution).  Three profiles are provided, chosen
+via the ``REPRO_BENCH_PROFILE`` environment variable:
+
+* ``tiny``  -- smoke-test scale (used by the test-suite),
+* ``quick`` -- the default benchmark scale (minutes on a laptop),
+* ``full``  -- the largest practical scale (tens of minutes).
+
+Test-set cleaning at this scale removes the intersection with the *model's
+training subset* (the 300K-analog), not the full 80% pool: with only a few
+thousand unique passwords in play, full-pool cleaning leaves just singleton
+tails and every method degenerates to zero matches (EXPERIMENTS.md
+discusses this adaptation).
+
+Trained models are cached under ``.repro_cache/`` keyed by profile + role;
+delete the directory to retrain from scratch.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines import CWAE, CWAEConfig, MarkovModel, PCFGModel, PassGAN, PassGANConfig
+from repro.core.model import PassFlow, PassFlowConfig
+from repro.data.alphabet import Alphabet, compact_alphabet
+from repro.data.dataset import PasswordDataset
+from repro.data.synthetic import SyntheticConfig, SyntheticRockYou
+from repro.utils.logging import get_logger
+from repro.utils.rng import spawn_rng
+
+logger = get_logger("eval.harness")
+
+DEFAULT_CACHE_DIR = Path(".repro_cache")
+
+
+@dataclass
+class BenchmarkSettings:
+    """One scale profile of the evaluation."""
+
+    name: str
+    corpus_size: int
+    train_size: int          # PassFlow's training subset (the 300K analog)
+    baseline_train_size: int  # what the GAN/CWAE baselines get (the 23.5M analog)
+    test_size: int
+    budgets: Tuple[int, ...]
+    flow_couplings: int
+    flow_hidden: int
+    flow_epochs: int
+    flow_batch: int
+    gan_iterations: int
+    cwae_epochs: int
+    train_size_sweep: Tuple[int, ...]  # Fig. 4 x-axis
+    sweep_epochs: int
+    seed: int = 7
+
+    @property
+    def guess_budgets(self) -> List[int]:
+        return list(self.budgets)
+
+
+PROFILES: Dict[str, BenchmarkSettings] = {
+    "tiny": BenchmarkSettings(
+        name="tiny",
+        corpus_size=3000,
+        train_size=800,
+        baseline_train_size=1500,
+        test_size=1200,
+        budgets=(200, 1000),
+        flow_couplings=4,
+        flow_hidden=24,
+        flow_epochs=4,
+        flow_batch=128,
+        gan_iterations=40,
+        cwae_epochs=4,
+        train_size_sweep=(300, 600, 800),
+        sweep_epochs=3,
+    ),
+    "quick": BenchmarkSettings(
+        name="quick",
+        corpus_size=40000,
+        train_size=6000,
+        baseline_train_size=20000,
+        test_size=20000,
+        budgets=(1000, 10000, 100000),
+        flow_couplings=10,
+        flow_hidden=64,
+        flow_epochs=70,
+        flow_batch=256,
+        gan_iterations=1200,
+        cwae_epochs=40,
+        train_size_sweep=(1000, 2000, 4000, 6000),
+        sweep_epochs=40,
+    ),
+    "full": BenchmarkSettings(
+        name="full",
+        corpus_size=100000,
+        train_size=10000,
+        baseline_train_size=60000,
+        test_size=40000,
+        budgets=(1000, 10000, 100000),
+        flow_couplings=12,
+        flow_hidden=96,
+        flow_epochs=120,
+        flow_batch=512,
+        gan_iterations=4000,
+        cwae_epochs=80,
+        train_size_sweep=(1000, 2500, 5000, 7500, 10000),
+        sweep_epochs=60,
+    ),
+}
+
+
+def settings_from_env(default: str = "quick") -> BenchmarkSettings:
+    """Resolve the profile from ``REPRO_BENCH_PROFILE``."""
+    name = os.environ.get("REPRO_BENCH_PROFILE", default)
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(f"unknown profile {name!r}; options: {sorted(PROFILES)}") from None
+
+
+class EvalContext:
+    """Builds and caches the artifacts shared by all experiments."""
+
+    # Dynamic-sampling parameters used at quick/full scale; the Table I
+    # schedule targets paper-scale budgets, these are its scaled analog.
+    DYNAMIC_ALPHA = 1
+    DYNAMIC_SIGMA = 0.12
+    DYNAMIC_GAMMA = 2
+    STATIC_TEMPERATURE = 0.75
+
+    def __init__(
+        self,
+        settings: Optional[BenchmarkSettings] = None,
+        cache_dir: Path | str = DEFAULT_CACHE_DIR,
+        alphabet: Optional[Alphabet] = None,
+    ) -> None:
+        self.settings = settings or settings_from_env()
+        self.cache_dir = Path(cache_dir)
+        self.alphabet = alphabet or compact_alphabet()
+        self._corpus: Optional[List[str]] = None
+        self._dataset: Optional[PasswordDataset] = None
+        self._passflow: Dict[str, PassFlow] = {}
+        self._passgan: Optional[PassGAN] = None
+        self._cwae: Optional[CWAE] = None
+        self._markov: Optional[MarkovModel] = None
+        self._pcfg: Optional[PCFGModel] = None
+
+    # ------------------------------------------------------------------
+    # data
+    # ------------------------------------------------------------------
+    def synthetic_config(self) -> SyntheticConfig:
+        """Tightened generator config (see DESIGN.md scaling notes)."""
+        return SyntheticConfig(vocabulary_size=30, max_suffix_digits=2)
+
+    @property
+    def corpus(self) -> List[str]:
+        if self._corpus is None:
+            rng = spawn_rng(self.settings.seed, "corpus")
+            generator = SyntheticRockYou(rng, self.synthetic_config(), self.alphabet)
+            self._corpus = generator.generate(self.settings.corpus_size)
+        return self._corpus
+
+    @property
+    def dataset(self) -> PasswordDataset:
+        """Train subset + cleaned test set shared by every experiment."""
+        if self._dataset is None:
+            s = self.settings
+            corpus = self.corpus
+            train = corpus[: s.train_size]
+            test_raw = corpus[len(corpus) - s.test_size :]
+            model = self.passflow()  # ensures encoder settings match
+            self._dataset = PasswordDataset(train, test_raw, model.encoder)
+        return self._dataset
+
+    @property
+    def baseline_train(self) -> List[str]:
+        """The larger corpus slice the GAN/CWAE baselines train on."""
+        return self.corpus[: self.settings.baseline_train_size]
+
+    @property
+    def test_set(self):
+        return self.dataset.test_set
+
+    # ------------------------------------------------------------------
+    # models (trained lazily, cached on disk)
+    # ------------------------------------------------------------------
+    def _cache_path(self, role: str) -> Path:
+        return self.cache_dir / f"{self.settings.name}-{role}.npz"
+
+    def passflow_config(self, mask_strategy: str = "char-run-1", seed: int = 1) -> PassFlowConfig:
+        s = self.settings
+        return PassFlowConfig(
+            alphabet_chars=self.alphabet.chars,
+            num_couplings=s.flow_couplings,
+            hidden=s.flow_hidden,
+            batch_size=s.flow_batch,
+            epochs=s.flow_epochs,
+            mask_strategy=mask_strategy,
+            seed=seed,
+        )
+
+    def passflow(self, mask_strategy: str = "char-run-1") -> PassFlow:
+        """The main PassFlow model (or a mask-strategy variant, Table VI)."""
+        if mask_strategy in self._passflow:
+            return self._passflow[mask_strategy]
+        path = self._cache_path(f"passflow-{mask_strategy}")
+        if path.exists():
+            logger.info("loading cached PassFlow (%s) from %s", mask_strategy, path)
+            model = PassFlow.load(path)
+        else:
+            model = PassFlow(self.passflow_config(mask_strategy))
+            train = self.corpus[: self.settings.train_size]
+            logger.info(
+                "training PassFlow (%s): %d passwords, %d epochs",
+                mask_strategy,
+                len(train),
+                self.settings.flow_epochs,
+            )
+            model.fit(PasswordDataset(train, [], model.encoder))
+            model.save(path)
+        self._passflow[mask_strategy] = model
+        return model
+
+    def passflow_for_train_size(self, train_size: int) -> PassFlow:
+        """A sweep model for Fig. 4 (own cache entry per size)."""
+        if train_size > len(self.corpus):
+            raise ValueError("train_size exceeds corpus")
+        path = self._cache_path(f"passflow-n{train_size}")
+        if path.exists():
+            return PassFlow.load(path)
+        config = self.passflow_config(seed=100 + train_size)
+        config.epochs = self.settings.sweep_epochs
+        model = PassFlow(config)
+        model.fit(PasswordDataset(self.corpus[:train_size], [], model.encoder))
+        model.save(path)
+        return model
+
+    def passgan(self) -> PassGAN:
+        if self._passgan is None:
+            path = self._cache_path("passgan")
+            if path.exists():
+                self._passgan = PassGAN.load(path)
+            else:
+                s = self.settings
+                config = PassGANConfig(
+                    alphabet_chars=self.alphabet.chars,
+                    hidden=96,
+                    iterations=s.gan_iterations,
+                    seed=2,
+                )
+                model = PassGAN(config)
+                logger.info("training PassGAN: %d iterations", s.gan_iterations)
+                model.fit(self.baseline_train)
+                model.save(path)
+                self._passgan = model
+        return self._passgan
+
+    def cwae(self) -> CWAE:
+        if self._cwae is None:
+            path = self._cache_path("cwae")
+            if path.exists():
+                self._cwae = CWAE.load(path)
+            else:
+                s = self.settings
+                config = CWAEConfig(
+                    alphabet_chars=self.alphabet.chars,
+                    latent_dim=48,
+                    hidden=96,
+                    epochs=s.cwae_epochs,
+                    seed=3,
+                )
+                model = CWAE(config)
+                logger.info("training CWAE: %d epochs", s.cwae_epochs)
+                model.fit(self.baseline_train)
+                model.save(path)
+                self._cwae = model
+        return self._cwae
+
+    def markov(self) -> MarkovModel:
+        if self._markov is None:
+            self._markov = MarkovModel(order=3).fit(self.baseline_train)
+        return self._markov
+
+    def pcfg(self) -> PCFGModel:
+        if self._pcfg is None:
+            self._pcfg = PCFGModel().fit(self.baseline_train)
+        return self._pcfg
+
+    # ------------------------------------------------------------------
+    def attack_rng(self, label: str) -> np.random.Generator:
+        """Seeded generator for one attack run."""
+        return spawn_rng(self.settings.seed, f"attack-{label}")

@@ -1,0 +1,85 @@
+"""Evaluation metrics."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence, Set
+
+import numpy as np
+
+# Structural templates of human-like passwords (the patterns the synthetic
+# corpus -- and real leaks -- are dominated by).  Used to score how
+# password-like *non-matched* samples are (the Table IV discussion).
+_PLAUSIBLE_PATTERNS = [
+    re.compile(r"^[a-z]{3,10}$"),                 # plain word
+    re.compile(r"^[a-z]{2,8}[0-9]{1,4}$"),        # word + digits
+    re.compile(r"^[A-Z][a-z]{2,7}[0-9]{0,3}$"),   # Capitalized word (+digits)
+    re.compile(r"^[0-9]{4,10}$"),                 # PIN
+    re.compile(r"^[a-z0-9]{4,10}$"),              # leet-ish mix
+    re.compile(r"^[a-z]{2,8}[0-9]{1,4}[!.@#*_\-?]$"),  # word+digits+symbol
+]
+
+
+def match_rate(matched: int, test_size: int) -> float:
+    """Percentage of the test set matched (the Table II statistic)."""
+    if test_size <= 0:
+        raise ValueError("test_size must be positive")
+    if matched < 0:
+        raise ValueError("matched must be non-negative")
+    return 100.0 * matched / test_size
+
+
+def uniqueness_rate(unique: int, generated: int) -> float:
+    """Fraction of generated guesses that are distinct."""
+    if generated <= 0:
+        raise ValueError("generated must be positive")
+    return unique / generated
+
+
+def is_plausible(password: str) -> bool:
+    """Heuristic: does the string look like a human-chosen password?"""
+    return any(p.match(password) for p in _PLAUSIBLE_PATTERNS)
+
+
+def plausibility_rate(passwords: Iterable[str]) -> float:
+    """Fraction of strings matching a human-like structural template."""
+    passwords = list(passwords)
+    if not passwords:
+        raise ValueError("passwords must not be empty")
+    return sum(1 for p in passwords if is_plausible(p)) / len(passwords)
+
+
+def cluster_separation(points: np.ndarray, labels: np.ndarray) -> float:
+    """Mean inter-cluster / mean intra-cluster centroid distance ratio.
+
+    Fig. 2's claim is qualitative ("syntactically similar passwords map to
+    spatially correlated regions"); this gives it a number: values well
+    above 1 mean the pivot neighbourhoods stay separated in the embedding.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    unique_labels = np.unique(labels)
+    if len(unique_labels) < 2:
+        raise ValueError("need at least two clusters")
+    centroids = np.stack([points[labels == lab].mean(axis=0) for lab in unique_labels])
+    intra = []
+    for lab, centroid in zip(unique_labels, centroids):
+        members = points[labels == lab]
+        intra.append(np.mean(np.linalg.norm(members - centroid, axis=1)))
+    inter = []
+    for i in range(len(centroids)):
+        for j in range(i + 1, len(centroids)):
+            inter.append(np.linalg.norm(centroids[i] - centroids[j]))
+    mean_intra = float(np.mean(intra))
+    if mean_intra == 0:
+        return float("inf")
+    return float(np.mean(inter)) / mean_intra
+
+
+def guess_overlap(a: Sequence[str], b: Sequence[str]) -> float:
+    """Jaccard overlap between two guess sets (diversity diagnostics)."""
+    sa, sb = set(a), set(b)
+    union = sa | sb
+    if not union:
+        raise ValueError("both guess sets are empty")
+    return len(sa & sb) / len(union)

@@ -1,0 +1,55 @@
+"""Rendering experiment results as aligned text / markdown tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Monospace-aligned table (the paper-style console output)."""
+    if not headers:
+        raise ValueError("headers must not be empty")
+    cells = [[str(h) for h in headers]] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_markdown(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """GitHub-markdown table (used when writing EXPERIMENTS.md)."""
+    head = "| " + " | ".join(str(h) for h in headers) + " |"
+    sep = "|" + "|".join("---" for _ in headers) + "|"
+    body = ["| " + " | ".join(_fmt(v) for v in row) + " |" for row in rows]
+    return "\n".join([head, sep] + body)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform container every experiment driver returns."""
+
+    name: str
+    headers: List[str]
+    rows: List[List[Any]]
+    notes: Dict[str, Any] = field(default_factory=dict)
+
+    def table(self) -> str:
+        return format_table(self.headers, self.rows)
+
+    def markdown(self) -> str:
+        return format_markdown(self.headers, self.rows)
+
+    def __str__(self) -> str:
+        return f"== {self.name} ==\n{self.table()}"

@@ -1,0 +1,96 @@
+"""Run every paper experiment and emit a consolidated report.
+
+Usage::
+
+    python -m repro.eval.run_all                 # quick profile, stdout
+    REPRO_BENCH_PROFILE=full python -m repro.eval.run_all
+    python -m repro.eval.run_all --markdown out.md
+
+The consolidated markdown output is what EXPERIMENTS.md is generated from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.eval.experiments import (
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.eval.harness import EvalContext, settings_from_env
+from repro.eval.reporting import ExperimentResult
+
+DRIVERS = (table1, table2, table3, table4, table5, table6, fig2, fig3, fig4, fig5)
+
+
+def run_all(ctx: EvalContext) -> List[ExperimentResult]:
+    """Execute every driver against one shared context."""
+    results = []
+    for driver in DRIVERS:
+        start = time.monotonic()
+        result = driver.run(ctx)
+        result.notes["elapsed_seconds"] = round(time.monotonic() - start, 1)
+        results.append(result)
+    return results
+
+
+def render_markdown(ctx: EvalContext, results: List[ExperimentResult]) -> str:
+    lines = [
+        f"# Experiment results (profile: {ctx.settings.name})",
+        "",
+        f"- corpus: {ctx.settings.corpus_size:,} synthetic passwords",
+        f"- PassFlow train subset: {ctx.settings.train_size:,}"
+        f" / baseline train: {ctx.settings.baseline_train_size:,}",
+        f"- cleaned test set: {len(ctx.test_set):,} targets",
+        f"- guess budgets: {ctx.settings.guess_budgets}",
+        "",
+    ]
+    for result in results:
+        lines.append(f"## {result.name}")
+        lines.append("")
+        lines.append(result.markdown())
+        interesting = {
+            k: v
+            for k, v in result.notes.items()
+            if isinstance(v, (int, float, str, tuple, dict)) and k != "elapsed_seconds"
+        }
+        if interesting:
+            lines.append("")
+            for key, value in interesting.items():
+                lines.append(f"- {key}: {value}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--markdown", help="also write a markdown report to this path")
+    args = parser.parse_args(argv)
+
+    ctx = EvalContext(settings_from_env("quick"))
+    print(f"profile: {ctx.settings.name}; test set {len(ctx.test_set):,} targets")
+    results = run_all(ctx)
+    for result in results:
+        print()
+        print(result)
+        print(f"({result.notes['elapsed_seconds']}s)")
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            handle.write(render_markdown(ctx, results))
+        print(f"\nmarkdown report written to {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Multi-seed attack statistics.
+
+At reduced scale single-run match counts carry substantial sampling noise;
+experiments that compare samplers should aggregate over independent seeds.
+This module provides the aggregation used by the Fig. 5 driver and the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.guesser import GuessingReport
+
+
+@dataclass
+class SeriesStats:
+    """Mean/std/extremes of one metric across seeds, per budget."""
+
+    budgets: List[int]
+    mean: Dict[int, float]
+    std: Dict[int, float]
+    minimum: Dict[int, float]
+    maximum: Dict[int, float]
+    runs: int
+
+    def mean_at(self, budget: int) -> float:
+        return self.mean[budget]
+
+    def interval_at(self, budget: int, z: float = 1.96) -> tuple:
+        """Normal-approximation confidence interval for the mean."""
+        half = z * self.std[budget] / math.sqrt(self.runs) if self.runs > 1 else 0.0
+        return (self.mean[budget] - half, self.mean[budget] + half)
+
+
+def aggregate_matched(reports: Sequence[GuessingReport]) -> SeriesStats:
+    """Aggregate matched counts of repeated runs of the same attack."""
+    return _aggregate(reports, lambda row: float(row.matched))
+
+
+def aggregate_unique(reports: Sequence[GuessingReport]) -> SeriesStats:
+    """Aggregate unique counts of repeated runs of the same attack."""
+    return _aggregate(reports, lambda row: float(row.unique))
+
+
+def _aggregate(reports: Sequence[GuessingReport], metric: Callable) -> SeriesStats:
+    if not reports:
+        raise ValueError("no reports to aggregate")
+    budgets = [row.guesses for row in reports[0].rows]
+    for report in reports[1:]:
+        if [row.guesses for row in report.rows] != budgets:
+            raise ValueError("reports disagree on budgets")
+    mean: Dict[int, float] = {}
+    std: Dict[int, float] = {}
+    minimum: Dict[int, float] = {}
+    maximum: Dict[int, float] = {}
+    for budget in budgets:
+        values = [metric(report.row_at(budget)) for report in reports]
+        n = len(values)
+        mu = sum(values) / n
+        var = sum((v - mu) ** 2 for v in values) / (n - 1) if n > 1 else 0.0
+        mean[budget] = mu
+        std[budget] = math.sqrt(var)
+        minimum[budget] = min(values)
+        maximum[budget] = max(values)
+    return SeriesStats(
+        budgets=budgets, mean=mean, std=std, minimum=minimum, maximum=maximum,
+        runs=len(reports),
+    )
+
+
+def run_seeds(
+    attack_factory: Callable[[int], GuessingReport], seeds: int
+) -> List[GuessingReport]:
+    """Run ``attack_factory(seed)`` for seeds 0..n-1 and collect reports."""
+    if seeds < 1:
+        raise ValueError("seeds must be >= 1")
+    return [attack_factory(seed) for seed in range(seeds)]

@@ -1,0 +1,40 @@
+"""Generative flows (Sec. II and III of the paper).
+
+* :mod:`repro.flows.bijector` -- the invertible-transform interface,
+* :mod:`repro.flows.masks` -- binary masking strategies for coupling layers
+  (horizontal and char-run m, Sec. III-A.1 and V-C),
+* :mod:`repro.flows.coupling` -- affine coupling layers (Eqs. 9-13),
+* :mod:`repro.flows.logit` -- dequantization-to-logit preprocessing bijector,
+* :mod:`repro.flows.actnorm` -- activation normalization (Glow-style
+  extension; ablatable),
+* :mod:`repro.flows.flow` -- composition with exact log-likelihood
+  (Eqs. 5-8) and numpy fast paths for sampling,
+* :mod:`repro.flows.priors` -- the factorized standard-normal prior and the
+  penalized Gaussian-mixture posterior of Eq. 14.
+"""
+
+from repro.flows.bijector import Bijector
+from repro.flows.masks import alternating_masks, char_run_mask, horizontal_mask
+from repro.flows.coupling import AffineCoupling
+from repro.flows.additive import AdditiveCoupling
+from repro.flows.permutation import Permutation
+from repro.flows.logit import LogitTransform
+from repro.flows.actnorm import ActNorm
+from repro.flows.flow import Flow
+from repro.flows.priors import GaussianMixturePrior, Prior, StandardNormalPrior
+
+__all__ = [
+    "Bijector",
+    "horizontal_mask",
+    "char_run_mask",
+    "alternating_masks",
+    "AffineCoupling",
+    "AdditiveCoupling",
+    "Permutation",
+    "LogitTransform",
+    "ActNorm",
+    "Flow",
+    "Prior",
+    "StandardNormalPrior",
+    "GaussianMixturePrior",
+]

@@ -1,0 +1,50 @@
+"""Activation normalization (ActNorm, from Glow).
+
+An optional extension over the paper's architecture: a per-coordinate affine
+``z = (x - bias) * exp(log_scale)`` whose parameters are data-dependently
+initialized on the first batch so activations start zero-mean/unit-variance.
+Ablation benchmarks measure its effect on NLL convergence.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.flows.bijector import Bijector
+from repro.nn.module import Parameter
+
+
+class ActNorm(Bijector):
+    """Per-dimension affine bijector with data-dependent initialization."""
+
+    def __init__(self, dim: int) -> None:
+        super().__init__()
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        self.dim = dim
+        self.log_scale = Parameter(np.zeros(dim), name="log_scale")
+        self.bias = Parameter(np.zeros(dim), name="bias")
+        self._initialized = False
+
+    def initialize_from(self, batch: np.ndarray) -> None:
+        """Set bias/scale so this batch maps to zero mean, unit variance."""
+        batch = np.asarray(batch, dtype=np.float64)
+        mean = batch.mean(axis=0)
+        std = batch.std(axis=0) + 1e-6
+        self.bias.data = mean
+        self.log_scale.data = -np.log(std)
+        self._initialized = True
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, Tensor]:
+        if not self._initialized and self.training:
+            self.initialize_from(x.data)
+        z = (x - self.bias) * self.log_scale.exp()
+        batch = x.shape[0] if x.ndim > 1 else 1
+        log_det = self.log_scale.sum() * Tensor(np.ones(batch))
+        return z, log_det
+
+    def inverse(self, z: Tensor) -> Tensor:
+        return z * (-self.log_scale).exp() + self.bias

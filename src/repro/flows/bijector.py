@@ -1,0 +1,29 @@
+"""Bijector interface.
+
+A bijector is one invertible step ``f_i`` of the composed flow
+``f_theta = f_k o ... o f_1`` (Eq. 1).  Each step must expose its forward
+map together with the log|det Jacobian| contribution (the summands of
+Eq. 6), and an exact inverse (Eq. 2).
+
+Both directions operate on :class:`~repro.autograd.Tensor`; inference paths
+call them inside ``no_grad()`` which reduces them to plain numpy work.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.autograd import Tensor
+from repro.nn.module import Module
+
+
+class Bijector(Module):
+    """Base class for invertible transforms with tractable Jacobians."""
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, Tensor]:
+        """Map data to latent: returns ``(z, log_det)`` with log_det shape (N,)."""
+        raise NotImplementedError
+
+    def inverse(self, z: Tensor) -> Tensor:
+        """Map latent back to data (preimage under the bijection)."""
+        raise NotImplementedError

@@ -1,0 +1,47 @@
+"""Logit preprocessing bijector.
+
+Dequantized password features live in (0, 1); affine couplings compose
+Gaussian-prior latents over all of R^D.  The standard bridge (RealNVP
+Sec. 4.1) is the logit transform
+
+    y = logit(a + (1 - 2a) * x)
+
+whose inverse is a (rescaled) sigmoid and whose log|det J| per coordinate is
+
+    log(1 - 2a) - log(p) - log(1 - p),   p = a + (1 - 2a) x.
+
+``a`` (alpha) keeps p strictly inside (0,1) even for x at the bin edges.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.flows.bijector import Bijector
+
+
+class LogitTransform(Bijector):
+    """Invertible map from the (0,1) data cube to R^D."""
+
+    def __init__(self, alpha: float = 0.05) -> None:
+        super().__init__()
+        if not 0.0 <= alpha < 0.5:
+            raise ValueError("alpha must be in [0, 0.5)")
+        self.alpha = float(alpha)
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, Tensor]:
+        a = self.alpha
+        p = x * (1.0 - 2.0 * a) + a
+        y = p.log() - (1.0 - p).log()
+        log_det = (
+            np.log(1.0 - 2.0 * a) - p.log() - (1.0 - p).log()
+        ).sum(axis=-1)
+        return y, log_det
+
+    def inverse(self, z: Tensor) -> Tensor:
+        a = self.alpha
+        p = z.sigmoid()
+        return (p - a) * (1.0 / (1.0 - 2.0 * a))

@@ -1,0 +1,63 @@
+"""Binary masking strategies for coupling layers.
+
+Sec. III-A.1: the coupling layer conditions half the coordinates on the
+other half; the split is chosen by a binary mask ``b``.  Sec. V-C evaluates
+three strategies:
+
+* **horizontal** -- D/2 zeroes then D/2 ones (splits the password in half),
+* **char-run m** -- alternating runs of ``m`` zeroes and ``m`` ones,
+  exploiting local correlation between consecutive characters; m=1 wins
+  (Table VI) and is the paper's default.
+
+Consecutive coupling layers must alternate ``b`` and ``1-b`` so no
+coordinate passes through the whole flow unchanged (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def horizontal_mask(dim: int) -> np.ndarray:
+    """First half zeroes, second half ones."""
+    if dim < 2:
+        raise ValueError("mask dimension must be >= 2")
+    mask = np.zeros(dim)
+    mask[dim // 2 :] = 1.0
+    return mask
+
+
+def char_run_mask(dim: int, run_length: int) -> np.ndarray:
+    """Alternating runs of ``run_length`` zeroes and ones (char-run m)."""
+    if dim < 2:
+        raise ValueError("mask dimension must be >= 2")
+    if run_length < 1:
+        raise ValueError("run_length must be >= 1")
+    positions = np.arange(dim)
+    return ((positions // run_length) % 2).astype(np.float64)
+
+
+def make_mask(strategy: str, dim: int) -> np.ndarray:
+    """Build a mask by name: 'horizontal' or 'char-run-<m>'."""
+    if strategy == "horizontal":
+        return horizontal_mask(dim)
+    if strategy.startswith("char-run-"):
+        try:
+            run = int(strategy[len("char-run-"):])
+        except ValueError:
+            raise ValueError(f"bad char-run strategy: {strategy!r}") from None
+        return char_run_mask(dim, run)
+    raise ValueError(f"unknown masking strategy {strategy!r}")
+
+
+def alternating_masks(strategy: str, dim: int, count: int) -> List[np.ndarray]:
+    """``count`` masks alternating between ``b`` and ``1-b`` (Fig. 1)."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    base = make_mask(strategy, dim)
+    masks = []
+    for i in range(count):
+        masks.append(base.copy() if i % 2 == 0 else 1.0 - base)
+    return masks

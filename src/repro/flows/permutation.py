@@ -1,0 +1,50 @@
+"""Fixed permutation bijector.
+
+An optional extension (Glow uses learned 1x1 convolutions; the fixed-shuffle
+variant is its zero-parameter ancestor from RealNVP): permuting coordinates
+between coupling layers lets information mix across mask groups faster than
+mask alternation alone.  Volume-preserving, so log|det J| = 0.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.flows.bijector import Bijector
+
+
+class Permutation(Bijector):
+    """Reorder coordinates by a fixed permutation."""
+
+    def __init__(self, permutation: np.ndarray) -> None:
+        super().__init__()
+        permutation = np.asarray(permutation, dtype=np.int64)
+        if permutation.ndim != 1:
+            raise ValueError("permutation must be 1-D")
+        if sorted(permutation.tolist()) != list(range(permutation.size)):
+            raise ValueError("not a valid permutation of 0..D-1")
+        self.dim = int(permutation.size)
+        self.register_buffer("perm", permutation.astype(np.float64))
+        self._forward_idx = permutation
+        self._inverse_idx = np.argsort(permutation)
+
+    @classmethod
+    def random(cls, dim: int, rng: np.random.Generator) -> "Permutation":
+        """A uniformly random permutation of ``dim`` coordinates."""
+        return cls(rng.permutation(dim))
+
+    @classmethod
+    def reverse(cls, dim: int) -> "Permutation":
+        """The coordinate-reversal permutation."""
+        return cls(np.arange(dim)[::-1].copy())
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, Tensor]:
+        z = x[:, self._forward_idx]
+        batch = x.shape[0]
+        return z, Tensor(np.zeros(batch))
+
+    def inverse(self, z: Tensor) -> Tensor:
+        return z[:, self._inverse_idx]

@@ -1,0 +1,139 @@
+"""Latent priors.
+
+Training uses the factorized standard normal (Sec. II: "an easy-to-sample,
+factorized prior distribution").  Dynamic Sampling (Sec. III-B, Eq. 14)
+replaces the sampling prior with a mixture of Gaussians centered on the
+latents of matched passwords, weighted by the penalization function phi.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import Tensor, logsumexp
+
+LOG_TWO_PI = math.log(2.0 * math.pi)
+
+
+class Prior:
+    """Interface: sampling plus numpy/Tensor log-densities over R^D."""
+
+    dim: int
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` latent vectors, shape (count, dim)."""
+        raise NotImplementedError
+
+    def log_prob(self, z: np.ndarray) -> np.ndarray:
+        """Log-density of rows of ``z`` (numpy fast path)."""
+        raise NotImplementedError
+
+    def log_prob_tensor(self, z: Tensor) -> Tensor:
+        """Differentiable log-density (for NLL training)."""
+        raise NotImplementedError
+
+
+class StandardNormalPrior(Prior):
+    """Isotropic N(0, sigma^2 I); ``sigma`` acts as a sampling temperature."""
+
+    def __init__(self, dim: int, sigma: float = 1.0) -> None:
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.dim = dim
+        self.sigma = float(sigma)
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.normal(0.0, self.sigma, size=(count, self.dim))
+
+    def log_prob(self, z: np.ndarray) -> np.ndarray:
+        z = np.atleast_2d(np.asarray(z, dtype=np.float64))
+        quad = np.sum(z**2, axis=-1) / (self.sigma**2)
+        return -0.5 * (quad + self.dim * (LOG_TWO_PI + 2.0 * math.log(self.sigma)))
+
+    def log_prob_tensor(self, z: Tensor) -> Tensor:
+        quad = (z * z).sum(axis=-1) * (1.0 / self.sigma**2)
+        constant = self.dim * (LOG_TWO_PI + 2.0 * math.log(self.sigma))
+        return (quad + constant) * -0.5
+
+
+class GaussianMixturePrior(Prior):
+    """Mixture of isotropic Gaussians: Eq. 14's p_z(z | M).
+
+    Parameters
+    ----------
+    means:
+        (K, D) centers -- the latents of matched passwords.
+    sigmas:
+        Per-component standard deviation, scalar or length-K.
+    weights:
+        Unnormalized non-negative weights -- the phi(z_i) factors.  At least
+        one weight must be positive.
+    """
+
+    def __init__(
+        self,
+        means: np.ndarray,
+        sigmas: float | Sequence[float],
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        means = np.atleast_2d(np.asarray(means, dtype=np.float64))
+        count, dim = means.shape
+        if count < 1:
+            raise ValueError("mixture needs at least one component")
+        sig = np.broadcast_to(np.asarray(sigmas, dtype=np.float64), (count,)).copy()
+        if np.any(sig <= 0):
+            raise ValueError("sigmas must be positive")
+        if weights is None:
+            w = np.ones(count)
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.shape != (count,):
+                raise ValueError("weights must match number of components")
+            if np.any(w < 0):
+                raise ValueError("weights must be non-negative")
+        total = w.sum()
+        if total <= 0:
+            raise ValueError("at least one mixture weight must be positive")
+        self.dim = dim
+        self.means = means
+        self.sigmas = sig
+        self.weights = w / total
+
+    @property
+    def num_components(self) -> int:
+        return len(self.means)
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        components = rng.choice(self.num_components, size=count, p=self.weights)
+        noise = rng.normal(0.0, 1.0, size=(count, self.dim))
+        return self.means[components] + noise * self.sigmas[components, None]
+
+    def _component_log_probs(self, z: np.ndarray) -> np.ndarray:
+        """(N, K) matrix of log w_k + log N(z; mu_k, sigma_k^2 I)."""
+        z = np.atleast_2d(np.asarray(z, dtype=np.float64))
+        diff = z[:, None, :] - self.means[None, :, :]
+        quad = np.sum(diff**2, axis=-1) / (self.sigmas[None, :] ** 2)
+        log_norm = -0.5 * (quad + self.dim * (LOG_TWO_PI + 2.0 * np.log(self.sigmas)[None, :]))
+        with np.errstate(divide="ignore"):
+            log_weights = np.log(self.weights)[None, :]
+        return log_weights + log_norm
+
+    def log_prob(self, z: np.ndarray) -> np.ndarray:
+        comp = self._component_log_probs(z)
+        shift = comp.max(axis=1, keepdims=True)
+        shift = np.where(np.isfinite(shift), shift, 0.0)
+        return np.log(np.exp(comp - shift).sum(axis=1)) + shift.ravel()
+
+    def log_prob_tensor(self, z: Tensor) -> Tensor:
+        # (N,1,D) - (K,D) -> (N,K,D)
+        diff = z.reshape(z.shape[0], 1, self.dim) - Tensor(self.means)
+        quad = (diff * diff).sum(axis=-1) * Tensor(1.0 / self.sigmas**2)
+        log_norm = (quad + Tensor(self.dim * (LOG_TWO_PI + 2.0 * np.log(self.sigmas)))) * -0.5
+        with np.errstate(divide="ignore"):
+            log_weights = Tensor(np.log(self.weights))
+        return logsumexp(log_norm + log_weights, axis=1)

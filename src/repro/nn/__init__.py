@@ -1,0 +1,47 @@
+"""A compact neural-network library over :mod:`repro.autograd`.
+
+Provides exactly what PassFlow and its baselines need:
+
+* :class:`Module` with automatic parameter/submodule registration and
+  ``state_dict`` (de)serialization,
+* :class:`Linear` layers with configurable initialization,
+* activation modules, :class:`BatchNorm1d` / :class:`LayerNorm`,
+* the residual MLP blocks used for the coupling layers' ``s`` and ``t``
+  functions (Sec. III-A: "two residual blocks with a hidden size of 256"),
+* optimizers (:class:`~repro.nn.optim.Adam` per Sec. IV-D, plus SGD) and
+  learning-rate schedulers.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.linear import Linear
+from repro.nn.activations import LeakyReLU, ReLU, Sigmoid, Softplus, Tanh
+from repro.nn.normalization import BatchNorm1d, LayerNorm
+from repro.nn.residual import ResidualBlock, ResidualMLP
+from repro.nn.sequential import Sequential
+from repro.nn.losses import binary_cross_entropy_with_logits, mse_loss
+from repro.nn import init
+from repro.nn.optim import SGD, Adam, CosineDecay, Optimizer, StepDecay
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softplus",
+    "BatchNorm1d",
+    "LayerNorm",
+    "ResidualBlock",
+    "ResidualMLP",
+    "Sequential",
+    "mse_loss",
+    "binary_cross_entropy_with_logits",
+    "init",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "StepDecay",
+    "CosineDecay",
+]

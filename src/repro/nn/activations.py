@@ -1,0 +1,50 @@
+"""Activation modules (thin wrappers over tensor ops)."""
+
+from __future__ import annotations
+
+from repro.autograd import Tensor
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with configurable negative slope (used by the GAN critic)."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = float(negative_slope)
+
+    def forward(self, x: Tensor) -> Tensor:
+        positive = x.relu()
+        negative = (-x).relu() * (-self.negative_slope)
+        return positive + negative
+
+    def __repr__(self) -> str:
+        return f"LeakyReLU(slope={self.negative_slope})"
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Softplus(Module):
+    """log(1 + exp(x))."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.softplus()

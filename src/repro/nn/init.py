@@ -1,0 +1,50 @@
+"""Weight initializers.
+
+The coupling layers' final linear layer is zero-initialized (``zeros``) so
+that every coupling layer starts as the identity map -- a standard trick for
+stable flow training (Glow, RealNVP) that matters even more with the shallow
+residual ``s``/``t`` nets of Sec. III-A.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def kaiming_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He/Kaiming uniform for ReLU nets: U(-a, a) with a = sqrt(6 / fan_in)."""
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def normal(rng: np.random.Generator, fan_in: int, fan_out: int, std: float = 0.02) -> np.ndarray:
+    """Gaussian init with fixed standard deviation."""
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def zeros(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """All-zeros init (identity start for flow output layers)."""
+    del rng
+    return np.zeros((fan_in, fan_out))
+
+
+SCHEMES = {
+    "xavier": xavier_uniform,
+    "kaiming": kaiming_uniform,
+    "normal": normal,
+    "zeros": zeros,
+}
+
+
+def get(name: str):
+    """Look up an initializer by name."""
+    try:
+        return SCHEMES[name]
+    except KeyError:
+        raise KeyError(f"unknown init scheme {name!r}; options: {sorted(SCHEMES)}") from None

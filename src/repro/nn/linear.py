@@ -1,0 +1,53 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn import init as init_schemes
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input / output widths.
+    bias:
+        Whether to learn an additive bias (default True).
+    init:
+        Name of the weight init scheme (see :mod:`repro.nn.init`).
+    rng:
+        Generator used for initialization; a default is created when omitted
+        (deterministic behaviour requires passing one explicitly).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        init: str = "kaiming",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear features must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        scheme = init_schemes.get(init)
+        self.weight = Parameter(scheme(rng, in_features, out_features), name="weight")
+        self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"

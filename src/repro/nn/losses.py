@@ -1,0 +1,25 @@
+"""Loss functions for the baselines (the flow's NLL lives in repro.flows)."""
+
+from __future__ import annotations
+
+from repro.autograd import Tensor, ops
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error; used for CWAE reconstruction."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, target: Tensor) -> Tensor:
+    """Numerically-stable BCE on raw logits.
+
+    Uses ``max(x,0) - x*t + log(1+exp(-|x|))``, the standard stable form.
+    """
+    relu_logits = logits.relu()
+    abs_logits = logits.abs()
+    loss = relu_logits - logits * target + ((-abs_logits).exp() + 1.0).log()
+    return loss.mean()
+
+
+__all__ = ["mse_loss", "binary_cross_entropy_with_logits", "ops"]

@@ -1,0 +1,148 @@
+"""Module base class: parameter registry, modes, and checkpointing."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from repro.autograd import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is a trainable leaf of a :class:`Module`."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses assign :class:`Parameter`, buffer arrays (via
+    :meth:`register_buffer`) and sub-:class:`Module` instances as attributes;
+    registration is automatic through ``__setattr__``.  ``forward`` must be
+    implemented; instances are callable.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state (e.g. BatchNorm running stats)."""
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def add_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name in self._buffers:
+            yield prefix + name, self._buffers[name]
+        for mod_name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{mod_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # modes
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            state[f"buffer:{name}"] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        expected = set(params)
+        got = {k for k in state if not k.startswith("buffer:")}
+        if expected != got:
+            missing, extra = expected - got, got - expected
+            raise KeyError(f"state mismatch: missing={sorted(missing)} extra={sorted(extra)}")
+        for name, value in state.items():
+            if name.startswith("buffer:"):
+                self._load_buffer(name[len("buffer:"):], value)
+            else:
+                param = params[name]
+                if param.data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: {param.data.shape} vs {value.shape}"
+                    )
+                param.data = np.array(value, dtype=np.float64, copy=True)
+
+    def _load_buffer(self, dotted: str, value: np.ndarray) -> None:
+        module: Module = self
+        parts = dotted.split(".")
+        for part in parts[:-1]:
+            module = module._modules[part]
+        module.register_buffer(parts[-1], value)
+
+    # ------------------------------------------------------------------
+    # call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        lines = [self.__class__.__name__ + "("]
+        for name, module in self._modules.items():
+            body = repr(module).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {body}")
+        lines.append(")")
+        return "\n".join(lines) if self._modules else self.__class__.__name__ + "()"

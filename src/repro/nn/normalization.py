@@ -1,0 +1,79 @@
+"""Normalization layers.
+
+BatchNorm is used by the Pasquini-style GAN generator (Sec. VI-B notes that
+batch-normalization plus residual skips is what lets their deeper generator
+train); LayerNorm is offered as an alternative for the critic, where batch
+statistics would leak across Wasserstein estimates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn.module import Module, Parameter
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over the feature axis of (N, F) inputs.
+
+    Keeps running estimates of mean/variance for evaluation mode, matching
+    the standard semantics: batch statistics while ``training`` is True,
+    running statistics otherwise.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self.gamma = Parameter(np.ones(num_features), name="gamma")
+        self.beta = Parameter(np.zeros(num_features), name="beta")
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm1d expects (N, {self.num_features}) input, got {x.shape}"
+            )
+        if self.training:
+            mean = x.mean(axis=0, keepdims=True)
+            var = x.var(axis=0, keepdims=True)
+            # update running stats out-of-graph
+            self.running_mean *= 1.0 - self.momentum
+            self.running_mean += self.momentum * mean.data.ravel()
+            self.running_var *= 1.0 - self.momentum
+            self.running_var += self.momentum * var.data.ravel()
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1))
+            var = Tensor(self.running_var.reshape(1, -1))
+        normalized = (x - mean) / ((var + self.eps) ** 0.5)
+        return normalized * self.gamma + self.beta
+
+    def __repr__(self) -> str:
+        return f"BatchNorm1d({self.num_features})"
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = float(eps)
+        self.gamma = Parameter(np.ones(num_features), name="gamma")
+        self.beta = Parameter(np.zeros(num_features), name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.num_features:
+            raise ValueError(
+                f"LayerNorm expects trailing dim {self.num_features}, got {x.shape}"
+            )
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        normalized = (x - mean) / ((var + self.eps) ** 0.5)
+        return normalized * self.gamma + self.beta
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.num_features})"

@@ -1,0 +1,8 @@
+"""Optimizers and learning-rate schedulers."""
+
+from repro.nn.optim.optimizer import Optimizer
+from repro.nn.optim.sgd import SGD
+from repro.nn.optim.adam import Adam
+from repro.nn.optim.schedulers import CosineDecay, LRScheduler, StepDecay
+
+__all__ = ["Optimizer", "SGD", "Adam", "LRScheduler", "StepDecay", "CosineDecay"]

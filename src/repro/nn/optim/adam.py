@@ -1,0 +1,46 @@
+"""Adam optimizer (Kingma & Ba), the paper's choice (Sec. IV-D)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.nn.optim.optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with bias correction; PassFlow trains with lr=1e-3, batch 512."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        clip_norm: float | None = None,
+    ) -> None:
+        super().__init__(params, lr, clip_norm)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1, self.beta2 = float(beta1), float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def _update(self, index: int, param: Parameter) -> None:
+        grad = param.grad
+        if self.weight_decay > 0.0:
+            grad = grad + self.weight_decay * param.data
+        m, v = self._m[index], self._v[index]
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grad**2
+        m_hat = m / (1.0 - self.beta1**self.step_count)
+        v_hat = v / (1.0 - self.beta2**self.step_count)
+        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

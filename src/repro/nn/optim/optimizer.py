@@ -1,0 +1,61 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Holds a parameter list and applies gradient updates.
+
+    Subclasses implement :meth:`_update` for a single parameter.  Gradient
+    clipping (by global norm) is built in because flow NLL spikes on small
+    batches otherwise.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float, clip_norm: float | None = None):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = float(lr)
+        self.clip_norm = clip_norm
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def grad_global_norm(self) -> float:
+        """L2 norm over all parameter gradients (zeros where grad is None)."""
+        total = 0.0
+        for param in self.params:
+            if param.grad is not None:
+                total += float(np.sum(param.grad**2))
+        return float(np.sqrt(total))
+
+    def _clip(self) -> None:
+        if self.clip_norm is None:
+            return
+        norm = self.grad_global_norm()
+        if norm > self.clip_norm and norm > 0:
+            scale = self.clip_norm / norm
+            for param in self.params:
+                if param.grad is not None:
+                    param.grad *= scale
+
+    def step(self) -> None:
+        """Apply one update using the gradients accumulated on the params."""
+        self._clip()
+        self.step_count += 1
+        for i, param in enumerate(self.params):
+            if param.grad is not None:
+                self._update(i, param)
+
+    def _update(self, index: int, param: Parameter) -> None:
+        raise NotImplementedError

@@ -1,0 +1,53 @@
+"""Learning-rate schedulers."""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim.optimizer import Optimizer
+
+
+class LRScheduler:
+    """Base scheduler: call :meth:`step` once per epoch."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        self.epoch += 1
+        self.optimizer.lr = self._lr_at(self.epoch)
+        return self.optimizer.lr
+
+    def _lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class StepDecay(LRScheduler):
+    """Multiply lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        self.step_size = step_size
+        self.gamma = float(gamma)
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * (self.gamma ** (epoch // self.step_size))
+
+
+class CosineDecay(LRScheduler):
+    """Cosine annealing from base lr to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        self.total_epochs = total_epochs
+        self.min_lr = float(min_lr)
+
+    def _lr_at(self, epoch: int) -> float:
+        progress = min(epoch, self.total_epochs) / self.total_epochs
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + math.cos(math.pi * progress))

@@ -1,0 +1,36 @@
+"""Stochastic gradient descent with optional momentum."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.nn.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """Vanilla / momentum SGD."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        clip_norm: float | None = None,
+    ) -> None:
+        super().__init__(params, lr, clip_norm)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = float(momentum)
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def _update(self, index: int, param: Parameter) -> None:
+        if self.momentum > 0.0:
+            vel = self._velocity[index]
+            vel *= self.momentum
+            vel -= self.lr * param.grad
+            param.data += vel
+        else:
+            param.data -= self.lr * param.grad

@@ -1,0 +1,32 @@
+"""Sequential container."""
+
+from __future__ import annotations
+
+from repro.autograd import Tensor
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Chain modules, feeding each output into the next."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._order = []
+        for i, module in enumerate(modules):
+            name = f"layer{i}"
+            self.add_module(name, module)
+            self._order.append(name)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._order:
+            x = self._modules[name](x)
+        return x
+
+    def __iter__(self):
+        return (self._modules[name] for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]

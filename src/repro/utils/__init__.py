@@ -1,0 +1,15 @@
+"""Shared utilities: seeding, logging, checkpoint IO, progress reporting."""
+
+from repro.utils.rng import RngStream, spawn_rng
+from repro.utils.logging import get_logger
+from repro.utils.serialization import load_checkpoint, save_checkpoint
+from repro.utils.progress import ProgressReporter
+
+__all__ = [
+    "RngStream",
+    "spawn_rng",
+    "get_logger",
+    "save_checkpoint",
+    "load_checkpoint",
+    "ProgressReporter",
+]

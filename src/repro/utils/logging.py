@@ -1,0 +1,32 @@
+"""Library logging: namespaced loggers, quiet by default."""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    The root library logger gets a NullHandler so importing the library never
+    configures global logging (applications opt in themselves).
+    """
+    global _configured
+    if not _configured:
+        logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+        _configured = True
+    full = _ROOT_NAME if not name else f"{_ROOT_NAME}.{name}"
+    return logging.getLogger(full)
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Convenience for examples/benchmarks: log to stderr."""
+    logger = logging.getLogger(_ROOT_NAME)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s"))
+        logger.addHandler(handler)
+    logger.setLevel(level)

@@ -1,0 +1,55 @@
+"""Lightweight progress reporting for long training/guessing loops."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.utils.logging import get_logger
+
+logger = get_logger("progress")
+
+
+class ProgressReporter:
+    """Rate-limited progress callbacks.
+
+    Training loops call :meth:`update` every step; the reporter invokes the
+    sink at most every ``interval`` seconds (and always on :meth:`close`),
+    keeping logging overhead negligible during numpy-heavy loops.
+    """
+
+    def __init__(
+        self,
+        total: Optional[int] = None,
+        interval: float = 5.0,
+        sink: Optional[Callable[[str], None]] = None,
+        label: str = "",
+    ) -> None:
+        self.total = total
+        self.interval = float(interval)
+        self.sink = sink if sink is not None else logger.info
+        self.label = label
+        self.count = 0
+        self._start = time.monotonic()
+        self._last_emit = self._start
+
+    def update(self, increment: int = 1, extra: str = "") -> None:
+        self.count += increment
+        now = time.monotonic()
+        if now - self._last_emit >= self.interval:
+            self._emit(extra)
+            self._last_emit = now
+
+    def _emit(self, extra: str = "") -> None:
+        elapsed = time.monotonic() - self._start
+        rate = self.count / elapsed if elapsed > 0 else 0.0
+        pieces = [self.label or "progress", f"{self.count}"]
+        if self.total:
+            pieces.append(f"/{self.total}")
+        pieces.append(f"({rate:.1f}/s)")
+        if extra:
+            pieces.append(extra)
+        self.sink(" ".join(str(p) for p in pieces))
+
+    def close(self, extra: str = "") -> None:
+        self._emit(extra)

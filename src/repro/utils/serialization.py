@@ -1,0 +1,42 @@
+"""Checkpoint IO: model state dicts to/from ``.npz`` files."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+
+def save_checkpoint(
+    path: str | Path,
+    state: Dict[str, np.ndarray],
+    metadata: Dict[str, Any] | None = None,
+) -> Path:
+    """Write a state dict (plus JSON-serializable metadata) to ``path``.
+
+    The metadata rides along as a JSON string under the reserved key
+    ``__metadata__`` so a checkpoint is a single self-describing file.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(state)
+    if "__metadata__" in payload:
+        raise ValueError("'__metadata__' is a reserved checkpoint key")
+    payload["__metadata__"] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_checkpoint(path: str | Path) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Read back ``(state_dict, metadata)`` written by :func:`save_checkpoint`."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        state = {k: archive[k] for k in archive.files if k != "__metadata__"}
+        metadata = json.loads(archive["__metadata__"].tobytes().decode("utf-8"))
+    return state, metadata

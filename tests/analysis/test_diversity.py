@@ -1,0 +1,83 @@
+"""Diversity/footprint diagnostics."""
+
+import pytest
+
+from repro.analysis.diversity import (
+    charclass_distribution,
+    compare_to_corpus,
+    length_distribution,
+    structure_distribution,
+    top_structures,
+    total_variation,
+)
+
+
+class TestDistributions:
+    def test_structure(self):
+        dist = structure_distribution(["love12", "star99"])
+        assert dist == {"L4 D2": 1.0}
+
+    def test_length(self):
+        dist = length_distribution(["ab", "abc", "ab"])
+        assert dist == {"2": 2 / 3, "3": 1 / 3}
+
+    def test_charclass(self):
+        dist = charclass_distribution(["ab1!"])
+        assert dist == {"letter": 0.5, "digit": 0.25, "symbol": 0.25}
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            structure_distribution([])
+
+
+class TestTotalVariation:
+    def test_identical_is_zero(self):
+        p = {"a": 0.5, "b": 0.5}
+        assert total_variation(p, dict(p)) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert total_variation({"a": 1.0}, {"b": 1.0}) == 1.0
+
+    def test_symmetric(self):
+        p, q = {"a": 0.7, "b": 0.3}, {"a": 0.2, "b": 0.8}
+        assert total_variation(p, q) == total_variation(q, p)
+
+
+class TestCompare:
+    def test_same_corpus_near_zero(self, corpus):
+        report = compare_to_corpus(corpus[:1000], corpus[:1000])
+        assert report.overall() < 1e-12
+
+    def test_disjoint_shapes_high(self, corpus):
+        digits_only = [str(i).zfill(8) for i in range(500)]
+        report = compare_to_corpus(digits_only, corpus[:1000])
+        assert report.structure_tv > 0.5
+        assert report.charclass_tv > 0.3
+
+    def test_unique_fraction(self):
+        report = compare_to_corpus(["aa", "aa", "bb", "cc"], ["aa", "bb"])
+        assert report.unique_fraction == 0.75
+
+    def test_validation(self, corpus):
+        with pytest.raises(ValueError):
+            compare_to_corpus([], corpus)
+
+    def test_model_guesses_close_to_corpus(self, trained_model, corpus):
+        # the trained flow's samples should structurally resemble training data
+        from repro.flows.priors import StandardNormalPrior
+        import numpy as np
+
+        samples = trained_model.sample_passwords(
+            1000, rng=np.random.default_rng(0), prior=StandardNormalPrior(10, sigma=0.7)
+        )
+        report = compare_to_corpus([s for s in samples if s], corpus)
+        assert report.length_tv < 0.6
+        assert report.charclass_tv < 0.5
+
+
+class TestTopStructures:
+    def test_top_limit_and_ordering(self, corpus):
+        top = top_structures(corpus, top=3)
+        assert len(top) == 3
+        values = list(top.values())
+        assert values == sorted(values, reverse=True)

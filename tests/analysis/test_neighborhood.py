@@ -1,0 +1,95 @@
+"""Neighbourhood sampling and edit distance."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.neighborhood import (
+    edit_distance,
+    mean_edit_distance,
+    neighborhood_cloud,
+    neighborhood_samples,
+    sigma_sweep,
+)
+
+
+class TestEditDistance:
+    def test_identity(self):
+        assert edit_distance("love", "love") == 0
+
+    def test_substitution(self):
+        assert edit_distance("love", "lave") == 1
+
+    def test_insert_delete(self):
+        assert edit_distance("love", "loves") == 1
+        assert edit_distance("loves", "love") == 1
+
+    def test_symmetry(self):
+        assert edit_distance("abc", "xyz") == edit_distance("xyz", "abc")
+
+    def test_known_value(self):
+        assert edit_distance("kitten", "sitting") == 3
+
+    def test_empty(self):
+        assert edit_distance("", "abc") == 3
+
+    def test_mean_requires_samples(self):
+        with pytest.raises(ValueError):
+            mean_edit_distance("x", [])
+
+
+class TestNeighborhoodSamples:
+    def test_returns_unique(self, trained_model):
+        samples = neighborhood_samples(
+            trained_model, "love12", 0.1, np.random.default_rng(0), unique_count=8
+        )
+        assert len(samples) == len(set(samples)) <= 8
+
+    def test_small_sigma_stays_close(self, trained_model):
+        samples = neighborhood_samples(
+            trained_model, "love12", 0.05, np.random.default_rng(1), unique_count=6
+        )
+        assert samples
+        assert mean_edit_distance("love12", samples) <= 4.0
+
+    def test_sigma_increases_drift(self, trained_model):
+        rng = np.random.default_rng(2)
+        close = neighborhood_samples(trained_model, "maria12", 0.03, rng, unique_count=8)
+        far = neighborhood_samples(trained_model, "maria12", 0.5, rng, unique_count=8)
+        assert mean_edit_distance("maria12", close) < mean_edit_distance("maria12", far)
+
+    def test_validation(self, trained_model):
+        with pytest.raises(ValueError):
+            neighborhood_samples(trained_model, "x", 0.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            neighborhood_samples(trained_model, "x", 0.1, np.random.default_rng(0), unique_count=0)
+
+
+class TestSigmaSweep:
+    def test_all_sigmas_present(self, trained_model):
+        sweep = sigma_sweep(
+            trained_model, "love12", [0.05, 0.1], np.random.default_rng(0), unique_count=4
+        )
+        assert set(sweep) == {0.05, 0.1}
+        assert all(len(v) <= 4 for v in sweep.values())
+
+
+class TestCloud:
+    def test_shapes_and_labels(self, trained_model):
+        latents, labels, decoded = neighborhood_cloud(
+            trained_model, ["love12", "maria9"], 0.08, 10, np.random.default_rng(0)
+        )
+        assert latents.shape == (20, 10)
+        assert list(np.bincount(labels)) == [10, 10]
+        assert len(decoded) == 20
+
+    def test_clusters_separate_in_latent_space(self, trained_model):
+        from repro.eval.metrics import cluster_separation
+
+        latents, labels, _ = neighborhood_cloud(
+            trained_model, ["love12", "qwerty"], 0.05, 30, np.random.default_rng(1)
+        )
+        assert cluster_separation(latents, labels) > 1.5
+
+    def test_validation(self, trained_model):
+        with pytest.raises(ValueError):
+            neighborhood_cloud(trained_model, ["x"], 0.1, 0, np.random.default_rng(0))

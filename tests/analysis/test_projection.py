@@ -1,0 +1,44 @@
+"""PCA projection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.projection import PCA
+
+
+class TestPCA:
+    def test_recovers_dominant_axis(self):
+        rng = np.random.default_rng(0)
+        t = rng.normal(size=500)
+        x = np.stack([t * 10, t * 0.1 + rng.normal(size=500) * 0.01], axis=1)
+        pca = PCA(1).fit(x)
+        axis = pca.components_[0] / np.linalg.norm(pca.components_[0])
+        assert abs(abs(axis[0]) - 1.0) < 1e-2  # first axis dominates
+
+    def test_explained_variance_sums_below_one(self):
+        x = np.random.default_rng(1).normal(size=(100, 5))
+        pca = PCA(2).fit(x)
+        assert 0 < pca.explained_variance_ratio_.sum() <= 1.0
+
+    def test_transform_shape(self):
+        x = np.random.default_rng(2).normal(size=(40, 6))
+        assert PCA(3).fit_transform(x).shape == (40, 3)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            PCA(2).transform(np.zeros((3, 4)))
+
+    def test_component_bound(self):
+        with pytest.raises(ValueError):
+            PCA(5).fit(np.zeros((3, 4)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PCA(0)
+        with pytest.raises(ValueError):
+            PCA(1).fit(np.zeros((1, 4)))
+
+    def test_centered_projection(self):
+        x = np.random.default_rng(3).normal(size=(50, 4)) + 100.0
+        projected = PCA(2).fit_transform(x)
+        assert np.allclose(projected.mean(axis=0), 0.0, atol=1e-9)

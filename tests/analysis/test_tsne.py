@@ -1,0 +1,65 @@
+"""Exact t-SNE implementation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tsne import TSNE, _joint_probabilities, _pairwise_sq_dists
+
+
+class TestInternals:
+    def test_pairwise_distances(self):
+        x = np.array([[0.0, 0.0], [3.0, 4.0]])
+        d = _pairwise_sq_dists(x)
+        assert np.allclose(d, [[0.0, 25.0], [25.0, 0.0]])
+
+    def test_joint_probabilities_symmetric_and_normalized(self):
+        x = np.random.randn(20, 3)
+        p = _joint_probabilities(x, perplexity=5.0)
+        assert np.allclose(p, p.T)
+        assert abs(p.sum() - 1.0) < 1e-9
+        assert np.all(p > 0)
+
+
+class TestEmbedding:
+    def _two_clusters(self, n=25, gap=20.0, seed=0):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(n, 5))
+        b = rng.normal(size=(n, 5)) + gap
+        return np.vstack([a, b]), np.array([0] * n + [1] * n)
+
+    def test_separates_well_separated_clusters(self):
+        x, labels = self._two_clusters()
+        embedding = TSNE(perplexity=10, n_iter=250, seed=1).fit_transform(x)
+        centroid_a = embedding[labels == 0].mean(axis=0)
+        centroid_b = embedding[labels == 1].mean(axis=0)
+        spread = max(embedding[labels == 0].std(), embedding[labels == 1].std())
+        assert np.linalg.norm(centroid_a - centroid_b) > 2 * spread
+
+    def test_output_shape_and_centering(self):
+        x, _ = self._two_clusters(n=10)
+        embedding = TSNE(perplexity=5, n_iter=50).fit_transform(x)
+        assert embedding.shape == (20, 2)
+        assert np.allclose(embedding.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_kl_better_than_random_layout(self):
+        x, _ = self._two_clusters(n=15)
+        tsne = TSNE(perplexity=8, n_iter=200, seed=2)
+        embedding = tsne.fit_transform(x)
+        random_layout = np.random.default_rng(3).normal(size=embedding.shape)
+        assert tsne.kl_divergence(x, embedding) < tsne.kl_divergence(x, random_layout)
+
+    def test_deterministic_with_seed(self):
+        x, _ = self._two_clusters(n=8)
+        a = TSNE(perplexity=4, n_iter=50, seed=7).fit_transform(x)
+        b = TSNE(perplexity=4, n_iter=50, seed=7).fit_transform(x)
+        assert np.allclose(a, b)
+
+
+class TestValidation:
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            TSNE().fit_transform(np.zeros((2, 3)))
+
+    def test_perplexity_bound(self):
+        with pytest.raises(ValueError):
+            TSNE(perplexity=10).fit_transform(np.zeros((5, 3)))

@@ -1,0 +1,174 @@
+"""Gradient checks and semantics for every elementwise/reduction/shape op."""
+
+import numpy as np
+import pytest
+from scipy.special import logsumexp as scipy_logsumexp
+
+from repro.autograd import Tensor, concatenate, logsumexp, maximum, stack, where
+from repro.autograd.grad_check import check_gradients
+
+
+class TestElementwise:
+    def test_exp(self):
+        check_gradients(lambda a: a.exp(), [np.random.randn(4)])
+
+    def test_log(self):
+        check_gradients(lambda a: a.log(), [np.random.rand(4) + 0.5])
+
+    def test_sqrt(self):
+        check_gradients(lambda a: a.sqrt(), [np.random.rand(4) + 0.5])
+
+    def test_tanh(self):
+        check_gradients(lambda a: a.tanh(), [np.random.randn(4)])
+
+    def test_sigmoid(self):
+        check_gradients(lambda a: a.sigmoid(), [np.random.randn(4)])
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = Tensor([-1000.0, 1000.0]).sigmoid()
+        assert np.all(np.isfinite(out.data))
+        assert out.data[0] < 1e-10 and out.data[1] > 1 - 1e-10
+
+    def test_relu(self):
+        check_gradients(lambda a: a.relu(), [np.array([-1.0, 0.5, 2.0, -0.3])])
+
+    def test_softplus(self):
+        check_gradients(lambda a: a.softplus(), [np.random.randn(5)])
+
+    def test_softplus_large_input_stable(self):
+        out = Tensor([800.0]).softplus()
+        assert np.isfinite(out.data[0]) and abs(out.data[0] - 800.0) < 1e-6
+
+    def test_abs(self):
+        check_gradients(lambda a: a.abs(), [np.array([-2.0, 3.0, -0.5])])
+
+    def test_clip_values_and_grad_mask(self):
+        a = Tensor([-2.0, 0.5, 3.0], requires_grad=True)
+        out = a.clip(0.0, 1.0)
+        assert np.allclose(out.data, [0.0, 0.5, 1.0])
+        out.sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        check_gradients(lambda a: a.sum(), [np.random.randn(3, 4)])
+
+    def test_sum_axis(self):
+        check_gradients(lambda a: a.sum(axis=1), [np.random.randn(3, 4)])
+
+    def test_sum_keepdims(self):
+        check_gradients(lambda a: a.sum(axis=0, keepdims=True), [np.random.randn(3, 4)])
+
+    def test_mean_axis(self):
+        check_gradients(lambda a: a.mean(axis=0), [np.random.randn(3, 4)])
+
+    def test_mean_matches_numpy(self):
+        x = np.random.randn(5, 2)
+        assert np.allclose(Tensor(x).mean(axis=1).data, x.mean(axis=1))
+
+    def test_var_matches_numpy(self):
+        x = np.random.randn(6, 3)
+        assert np.allclose(Tensor(x).var(axis=0).data, x.var(axis=0))
+
+    def test_var_grad(self):
+        check_gradients(lambda a: a.var(axis=0), [np.random.randn(4, 3)])
+
+    def test_max_values(self):
+        x = np.random.randn(3, 5)
+        assert np.allclose(Tensor(x).max(axis=1).data, x.max(axis=1))
+
+    def test_max_grad_unique(self):
+        check_gradients(lambda a: a.max(axis=1), [np.random.randn(3, 5)])
+
+    def test_max_grad_splits_ties(self):
+        a = Tensor([[1.0, 1.0, 0.0]], requires_grad=True)
+        a.max(axis=1).backward()
+        assert np.allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        check_gradients(lambda a: a.reshape(6), [np.random.randn(2, 3)])
+
+    def test_reshape_minus_one(self):
+        t = Tensor(np.arange(6.0)).reshape(-1, 2)
+        assert t.shape == (3, 2)
+
+    def test_transpose_default(self):
+        check_gradients(lambda a: a.T, [np.random.randn(2, 3)])
+
+    def test_transpose_axes(self):
+        check_gradients(lambda a: a.transpose(1, 0, 2), [np.random.randn(2, 3, 4)])
+
+    def test_getitem_slice(self):
+        check_gradients(lambda a: a[1:3], [np.random.randn(5)])
+
+    def test_getitem_fancy(self):
+        check_gradients(lambda a: a[np.array([0, 0, 2])], [np.random.randn(4)])
+
+
+class TestMultiInputOps:
+    def test_concatenate_values(self):
+        out = concatenate([Tensor([1.0]), Tensor([2.0, 3.0])])
+        assert np.allclose(out.data, [1.0, 2.0, 3.0])
+
+    def test_concatenate_grad(self):
+        check_gradients(
+            lambda a, b: concatenate([a, b], axis=1),
+            [np.random.randn(2, 3), np.random.randn(2, 2)],
+        )
+
+    def test_stack_grad(self):
+        check_gradients(
+            lambda a, b: stack([a, b], axis=0),
+            [np.random.randn(3), np.random.randn(3)],
+        )
+
+    def test_where_values(self):
+        out = where(np.array([True, False]), Tensor([1.0, 1.0]), Tensor([9.0, 9.0]))
+        assert np.allclose(out.data, [1.0, 9.0])
+
+    def test_where_grad(self):
+        cond = np.array([True, False, True])
+        check_gradients(
+            lambda a, b: where(cond, a, b),
+            [np.random.randn(3), np.random.randn(3)],
+        )
+
+    def test_maximum_values_and_grad(self):
+        check_gradients(
+            lambda a, b: maximum(a, b),
+            [np.array([1.0, 5.0, 2.0]), np.array([3.0, 1.0, 2.5])],
+        )
+
+
+class TestLogSumExp:
+    def test_matches_scipy_all(self):
+        x = np.random.randn(4, 5)
+        assert np.allclose(logsumexp(Tensor(x)).data, scipy_logsumexp(x))
+
+    def test_matches_scipy_axis(self):
+        x = np.random.randn(4, 5)
+        assert np.allclose(logsumexp(Tensor(x), axis=1).data, scipy_logsumexp(x, axis=1))
+
+    def test_keepdims(self):
+        x = np.random.randn(4, 5)
+        out = logsumexp(Tensor(x), axis=0, keepdims=True)
+        assert out.shape == (1, 5)
+
+    def test_grad(self):
+        check_gradients(lambda a: logsumexp(a, axis=1), [np.random.randn(3, 4)])
+
+    def test_grad_all_axes(self):
+        check_gradients(lambda a: logsumexp(a), [np.random.randn(3, 4)])
+
+    def test_large_values_stable(self):
+        x = np.array([[1000.0, 1000.0]])
+        out = logsumexp(Tensor(x), axis=1)
+        assert np.allclose(out.data, 1000.0 + np.log(2.0))
+
+    def test_neg_inf_component(self):
+        x = np.array([[0.0, -np.inf]])
+        out = logsumexp(Tensor(x), axis=1)
+        assert np.allclose(out.data, 0.0)

@@ -1,0 +1,90 @@
+"""Hypothesis property tests for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autograd import Tensor
+from repro.autograd.grad_check import numeric_gradient
+from repro.autograd.tensor import unbroadcast
+
+finite_arrays = arrays(
+    dtype=np.float64,
+    shape=array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=4),
+    elements=st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+)
+
+
+@given(finite_arrays)
+@settings(max_examples=30, deadline=None)
+def test_add_is_commutative(x):
+    a, b = Tensor(x), Tensor(x[::-1].copy() if x.ndim == 1 else x.T.copy().T)
+    assert np.allclose((a + b).data, (b + a).data)
+
+
+@given(finite_arrays)
+@settings(max_examples=30, deadline=None)
+def test_exp_log_roundtrip(x):
+    t = Tensor(np.abs(x) + 0.5)
+    assert np.allclose(t.log().exp().data, t.data, rtol=1e-10)
+
+
+@given(finite_arrays)
+@settings(max_examples=25, deadline=None)
+def test_sum_gradient_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    t.sum().backward()
+    assert np.allclose(t.grad, np.ones_like(x))
+
+
+@given(finite_arrays, st.floats(min_value=-2.0, max_value=2.0))
+@settings(max_examples=25, deadline=None)
+def test_scalar_mul_gradient(x, scalar):
+    t = Tensor(x, requires_grad=True)
+    (t * scalar).sum().backward()
+    assert np.allclose(t.grad, np.full_like(x, scalar))
+
+
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+        elements=st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+    )
+)
+@settings(max_examples=20, deadline=None)
+def test_tanh_gradient_matches_numeric(x):
+    t = Tensor(x, requires_grad=True)
+    t.tanh().sum().backward()
+    numeric = numeric_gradient(lambda a: a.tanh(), [x])
+    assert np.allclose(t.grad, numeric, atol=1e-4)
+
+
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 3), st.integers(1, 3)),
+        elements=st.floats(min_value=-5.0, max_value=5.0, allow_nan=False),
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_unbroadcast_inverts_broadcast(x):
+    # broadcasting x to a bigger shape then unbroadcasting a ones-gradient
+    # must produce the number of repetitions per cell
+    big = np.broadcast_to(x, (5,) + x.shape)
+    grad = unbroadcast(np.ones_like(big), x.shape)
+    assert grad.shape == x.shape
+    assert np.allclose(grad, 5.0)
+
+
+@given(finite_arrays)
+@settings(max_examples=25, deadline=None)
+def test_no_grad_values_match_grad_values(x):
+    from repro.autograd import no_grad
+
+    t = Tensor(x, requires_grad=True)
+    with_graph = (t.tanh() * 2.0 + 1.0).data
+    with no_grad():
+        without_graph = (t.tanh() * 2.0 + 1.0).data
+    assert np.allclose(with_graph, without_graph)

@@ -1,0 +1,168 @@
+"""Unit tests for the Tensor type and its gradient rules."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad, is_grad_enabled, set_grad_enabled
+from repro.autograd.grad_check import check_gradients
+from repro.autograd.tensor import unbroadcast
+
+
+class TestConstruction:
+    def test_wraps_list(self):
+        t = Tensor([1.0, 2.0])
+        assert t.shape == (2,)
+        assert t.data.dtype == np.float64
+
+    def test_wraps_tensor(self):
+        inner = Tensor([1.0])
+        outer = Tensor(inner)
+        assert outer.data is inner.data
+
+    def test_item_and_len(self):
+        assert Tensor(3.5).item() == 3.5
+        assert len(Tensor([1.0, 2.0, 3.0])) == 3
+
+    def test_detach_breaks_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = (a * 2.0).detach()
+        assert not b.requires_grad
+        assert b._parents == ()
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+
+class TestArithmetic:
+    def test_add_values(self):
+        assert np.allclose((Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])).data, [4.0, 6.0])
+
+    def test_radd_with_scalar(self):
+        assert np.allclose((2.0 + Tensor([1.0])).data, [3.0])
+
+    def test_sub_and_rsub(self):
+        assert np.allclose((Tensor([5.0]) - 2.0).data, [3.0])
+        assert np.allclose((10.0 - Tensor([4.0])).data, [6.0])
+
+    def test_mul_div(self):
+        assert np.allclose((Tensor([2.0]) * Tensor([3.0])).data, [6.0])
+        assert np.allclose((Tensor([6.0]) / 2.0).data, [3.0])
+        assert np.allclose((12.0 / Tensor([4.0])).data, [3.0])
+
+    def test_pow_scalar_only(self):
+        assert np.allclose((Tensor([2.0]) ** 3).data, [8.0])
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_matmul_values(self):
+        a = Tensor(np.eye(2) * 2)
+        b = Tensor([[1.0], [3.0]])
+        assert np.allclose((a @ b).data, [[2.0], [6.0]])
+
+    def test_comparisons_return_arrays(self):
+        mask = Tensor([1.0, 3.0]) > 2.0
+        assert mask.dtype == bool
+        assert list(mask) == [False, True]
+
+
+class TestGradients:
+    def test_add_grad(self):
+        check_gradients(lambda a, b: a + b, [np.random.rand(3), np.random.rand(3)])
+
+    def test_mul_grad(self):
+        check_gradients(lambda a, b: a * b, [np.random.rand(4), np.random.rand(4)])
+
+    def test_div_grad(self):
+        check_gradients(
+            lambda a, b: a / b, [np.random.rand(3), np.random.rand(3) + 1.0]
+        )
+
+    def test_pow_grad(self):
+        check_gradients(lambda a: a**3, [np.random.rand(5) + 0.5])
+
+    def test_matmul_grad(self):
+        check_gradients(
+            lambda a, b: a @ b, [np.random.rand(3, 4), np.random.rand(4, 2)]
+        )
+
+    def test_broadcast_add_grad(self):
+        check_gradients(lambda a, b: a + b, [np.random.rand(3, 4), np.random.rand(4)])
+
+    def test_broadcast_mul_scalar_shape(self):
+        check_gradients(lambda a, b: a * b, [np.random.rand(2, 3), np.random.rand(1, 3)])
+
+    def test_reused_node_accumulates(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = a * a + a  # dout/da = 2a + 1 = 5
+        out.backward()
+        assert np.allclose(a.grad, [5.0])
+
+    def test_diamond_graph(self):
+        a = Tensor([1.5], requires_grad=True)
+        left = a * 2.0
+        right = a * 3.0
+        (left + right).backward()
+        assert np.allclose(a.grad, [5.0])
+
+    def test_backward_default_ones(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 3.0).backward()
+        assert np.allclose(a.grad, [3.0, 3.0])
+
+    def test_backward_shape_mismatch_raises(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (a * 2.0).backward(np.ones(3))
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+
+class TestGradMode:
+    def test_no_grad_blocks_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+        assert out._backward is None
+
+    def test_no_grad_restores(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_set_grad_enabled_returns_previous(self):
+        previous = set_grad_enabled(False)
+        assert previous is True
+        set_grad_enabled(True)
+
+
+class TestUnbroadcast:
+    def test_identity_when_same_shape(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)) is g
+
+    def test_sums_prepended_axes(self):
+        g = np.ones((5, 2, 3))
+        assert unbroadcast(g, (2, 3)).shape == (2, 3)
+        assert np.all(unbroadcast(g, (2, 3)) == 5.0)
+
+    def test_sums_stretched_axes(self):
+        g = np.ones((2, 3))
+        out = unbroadcast(g, (2, 1))
+        assert out.shape == (2, 1)
+        assert np.all(out == 3.0)
+
+    def test_scalar_target(self):
+        g = np.ones((4, 4))
+        assert unbroadcast(g, ()) == 16.0

@@ -1,0 +1,110 @@
+"""CWAE baseline: MMD penalty, context noising, training."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.baselines.cwae import CWAE, CWAEConfig, mmd_penalty
+from repro.autograd.grad_check import check_gradients
+
+
+@pytest.fixture
+def small_config(alphabet):
+    return CWAEConfig(
+        alphabet_chars=alphabet.chars,
+        latent_dim=8,
+        hidden=16,
+        epochs=2,
+        batch_size=32,
+        seed=0,
+    )
+
+
+class TestMMD:
+    def test_near_zero_for_identical_sets(self):
+        # the estimator excludes diagonals within-set but not across, so
+        # identical sets give a small negative bias rather than exactly 0
+        z = np.random.randn(64, 4)
+        identical = mmd_penalty(Tensor(z), Tensor(z.copy()), scale=1.0).item()
+        shifted = mmd_penalty(Tensor(z), Tensor(z + 3.0), scale=1.0).item()
+        assert abs(identical) < 0.05
+        assert identical < shifted
+
+    def test_positive_for_shifted_sets(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(32, 4))
+        b = rng.normal(size=(32, 4)) + 5.0
+        assert mmd_penalty(Tensor(a), Tensor(b), scale=1.0).item() > 0.1
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            mmd_penalty(Tensor(np.zeros((1, 4))), Tensor(np.zeros((1, 4))), scale=1.0)
+
+    def test_gradients_flow(self):
+        b = np.random.randn(8, 3)
+        check_gradients(
+            lambda a: mmd_penalty(a, Tensor(b), scale=1.0),
+            [np.random.randn(8, 3)],
+            atol=1e-4,
+        )
+
+
+class TestContextNoise:
+    def test_drops_some_characters(self, small_config):
+        cwae = CWAE(small_config)
+        feats = cwae.encoder_codec.encode_batch(["abcdefghij"] * 64)
+        noisy = cwae._context_noise(feats, np.random.default_rng(0))
+        assert not np.allclose(noisy, feats)
+        # dropped cells land on the PAD bin center
+        pad_center = 0.5 * cwae.encoder_codec.bin_width
+        changed = noisy != feats
+        assert np.allclose(noisy[changed], pad_center)
+
+    def test_noise_rate_scales_with_epsilon(self, small_config):
+        cwae = CWAE(small_config)
+        feats = cwae.encoder_codec.encode_batch(["abcdefghij"] * 200)
+        low = cwae._context_noise(feats, np.random.default_rng(1))
+        cwae.config.epsilon = 8.0
+        high = cwae._context_noise(feats, np.random.default_rng(1))
+        assert (high != feats).sum() > (low != feats).sum()
+
+
+class TestTraining:
+    def test_fit_records_history(self, small_config, corpus):
+        cwae = CWAE(small_config)
+        history = cwae.fit(corpus[:300])
+        assert len(history.reconstruction) == 2
+        assert all(np.isfinite(v) for v in history.reconstruction)
+
+    def test_reconstruction_improves(self, small_config, corpus):
+        cwae = CWAE(small_config)
+        history = cwae.fit(corpus[:500], epochs=8)
+        assert history.reconstruction[-1] < history.reconstruction[0]
+
+    def test_needs_two_passwords(self, small_config):
+        with pytest.raises(ValueError):
+            CWAE(small_config).fit(["a"])
+
+    def test_sample_passwords(self, small_config, corpus):
+        cwae = CWAE(small_config)
+        cwae.fit(corpus[:300])
+        samples = cwae.sample_passwords(20, np.random.default_rng(0))
+        assert len(samples) == 20
+        assert all(len(s) <= 10 for s in samples)
+
+    def test_reconstruct_api(self, small_config, corpus):
+        cwae = CWAE(small_config)
+        cwae.fit(corpus[:300])
+        out = cwae.reconstruct(["love12"])
+        assert len(out) == 1 and isinstance(out[0], str)
+
+    def test_save_load_roundtrip(self, small_config, corpus, tmp_path):
+        cwae = CWAE(small_config)
+        cwae.fit(corpus[:300])
+        path = tmp_path / "cwae.npz"
+        cwae.save(path)
+        restored = CWAE.load(path)
+        rng_a, rng_b = np.random.default_rng(2), np.random.default_rng(2)
+        assert np.allclose(
+            cwae.sample_features(8, rng_a), restored.sample_features(8, rng_b)
+        )

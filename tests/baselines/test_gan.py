@@ -1,0 +1,98 @@
+"""PassGAN baseline: components and training loop."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.baselines.gan import Critic, Generator, PassGAN, PassGANConfig, WGANTrainingConfig
+from repro.data.alphabet import compact_alphabet
+
+
+@pytest.fixture
+def small_config(alphabet):
+    return PassGANConfig(
+        alphabet_chars=alphabet.chars,
+        noise_dim=8,
+        hidden=16,
+        iterations=5,
+        batch_size=32,
+        seed=0,
+    )
+
+
+class TestGenerator:
+    def test_output_in_unit_cube(self):
+        gen = Generator(8, 10, hidden=16, rng=np.random.default_rng(0))
+        out = gen(Tensor(np.random.randn(4, 8)))
+        assert out.shape == (4, 10)
+        assert np.all((out.data > 0) & (out.data < 1))
+
+    def test_noise_shape(self):
+        gen = Generator(8, 10, hidden=16, rng=np.random.default_rng(0))
+        assert gen.sample_noise(5, np.random.default_rng(1)).shape == (5, 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Generator(0, 10)
+
+
+class TestCritic:
+    def test_scalar_output(self):
+        critic = Critic(10, hidden=16, rng=np.random.default_rng(0))
+        assert critic(Tensor(np.random.randn(6, 10))).shape == (6, 1)
+
+    def test_weight_clipping(self):
+        critic = Critic(10, hidden=16, rng=np.random.default_rng(0))
+        for p in critic.parameters():
+            p.data += 1.0
+        critic.clip_weights(0.05)
+        assert all(np.max(np.abs(p.data)) <= 0.05 for p in critic.parameters())
+
+    def test_clip_validation(self):
+        with pytest.raises(ValueError):
+            Critic(4).clip_weights(0.0)
+
+
+class TestWGANConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WGANTrainingConfig(critic_steps=0)
+        with pytest.raises(ValueError):
+            WGANTrainingConfig(batch_size=0)
+
+
+class TestPassGAN:
+    def test_fit_records_history(self, small_config, corpus):
+        gan = PassGAN(small_config)
+        history = gan.fit(corpus[:200])
+        assert len(history.generator_loss) == 5
+        assert len(history.critic_loss) == 5
+
+    def test_fit_requires_enough_data(self, small_config):
+        gan = PassGAN(small_config)
+        with pytest.raises(ValueError):
+            gan.fit(["a"] * 3)
+
+    def test_sample_passwords(self, small_config, corpus):
+        gan = PassGAN(small_config)
+        gan.fit(corpus[:200])
+        samples = gan.sample_passwords(30, np.random.default_rng(0))
+        assert len(samples) == 30
+        assert all(len(s) <= 10 for s in samples)
+
+    def test_critic_weights_stay_clipped_after_training(self, small_config, corpus):
+        gan = PassGAN(small_config)
+        gan.fit(corpus[:200])
+        clip = gan.trainer.config.clip
+        assert all(np.max(np.abs(p.data)) <= clip + 1e-12 for p in gan.critic.parameters())
+
+    def test_save_load_roundtrip(self, small_config, corpus, tmp_path):
+        gan = PassGAN(small_config)
+        gan.fit(corpus[:200])
+        path = tmp_path / "gan.npz"
+        gan.save(path)
+        restored = PassGAN.load(path)
+        rng_a, rng_b = np.random.default_rng(2), np.random.default_rng(2)
+        assert np.allclose(
+            gan.sample_features(8, rng_a), restored.sample_features(8, rng_b)
+        )

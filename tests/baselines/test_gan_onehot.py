@@ -1,0 +1,86 @@
+"""One-hot PassGAN variant (the faithful Sec. VI-A/B representation)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.baselines.gan import Generator, PassGAN, PassGANConfig
+from repro.data.onehot import OneHotEncoder
+
+
+@pytest.fixture
+def onehot_config(alphabet):
+    return PassGANConfig(
+        alphabet_chars=alphabet.chars,
+        noise_dim=8,
+        hidden=16,
+        iterations=5,
+        batch_size=32,
+        encoding="onehot",
+        seed=0,
+    )
+
+
+class TestSoftmaxGenerator:
+    def test_rows_normalized_per_position(self):
+        gen = Generator(
+            8, 5 * 4, hidden=16, rng=np.random.default_rng(0),
+            softmax_positions=5, softmax_vocab=4,
+        )
+        out = gen(Tensor(np.random.randn(6, 8)))
+        shaped = out.data.reshape(6, 5, 4)
+        assert np.allclose(shaped.sum(axis=2), 1.0)
+        assert np.all(shaped >= 0)
+
+    def test_softmax_args_validated(self):
+        with pytest.raises(ValueError):
+            Generator(8, 20, softmax_positions=5)  # missing vocab
+        with pytest.raises(ValueError):
+            Generator(8, 21, softmax_positions=5, softmax_vocab=4)  # 5*4 != 21
+
+    def test_gradients_flow_through_softmax(self):
+        gen = Generator(
+            4, 3 * 4, hidden=8, rng=np.random.default_rng(1),
+            softmax_positions=3, softmax_vocab=4,
+        )
+        out = gen(Tensor(np.random.randn(5, 4)))
+        out.sum().backward()
+        grads = [p.grad for p in gen.parameters() if p.grad is not None]
+        assert grads  # at least some parameters received gradients
+
+
+class TestOneHotPassGAN:
+    def test_encoding_validated(self):
+        with pytest.raises(ValueError):
+            PassGANConfig(encoding="base64")
+
+    def test_uses_onehot_codec(self, onehot_config):
+        gan = PassGAN(onehot_config)
+        assert isinstance(gan.encoder, OneHotEncoder)
+        assert gan.generator.data_dim == gan.encoder.flat_dim
+
+    def test_fit_and_sample(self, onehot_config, corpus):
+        gan = PassGAN(onehot_config)
+        history = gan.fit(corpus[:200])
+        assert len(history.generator_loss) == 5
+        samples = gan.sample_passwords(20, np.random.default_rng(0))
+        assert len(samples) == 20
+        assert all(len(s) <= 10 for s in samples)
+
+    def test_generated_features_are_distributions(self, onehot_config, corpus):
+        gan = PassGAN(onehot_config)
+        gan.fit(corpus[:200])
+        features = gan.sample_features(4, np.random.default_rng(1))
+        shaped = features.reshape(4, 10, gan.encoder.vocab_size)
+        assert np.allclose(shaped.sum(axis=2), 1.0, atol=1e-9)
+
+    def test_save_load_roundtrip(self, onehot_config, corpus, tmp_path):
+        gan = PassGAN(onehot_config)
+        gan.fit(corpus[:200])
+        gan.save(tmp_path / "gan.npz")
+        restored = PassGAN.load(tmp_path / "gan.npz")
+        assert restored.config.encoding == "onehot"
+        rng_a, rng_b = np.random.default_rng(2), np.random.default_rng(2)
+        assert np.allclose(
+            gan.sample_features(4, rng_a), restored.sample_features(4, rng_b)
+        )

@@ -1,0 +1,60 @@
+"""Markov n-gram baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.markov import MarkovModel
+
+
+@pytest.fixture
+def fitted(corpus):
+    return MarkovModel(order=2).fit(corpus)
+
+
+class TestFit:
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            MarkovModel().fit([])
+
+    def test_invalid_order_raises(self):
+        with pytest.raises(ValueError):
+            MarkovModel(order=0)
+
+    def test_sample_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MarkovModel().sample_passwords(1, np.random.default_rng(0))
+
+
+class TestSampling:
+    def test_count_and_length(self, fitted):
+        samples = fitted.sample_passwords(50, np.random.default_rng(0))
+        assert len(samples) == 50
+        assert all(len(s) <= 10 for s in samples)
+
+    def test_samples_use_corpus_alphabet(self, fitted, corpus):
+        corpus_chars = set("".join(corpus))
+        sample_chars = set("".join(fitted.sample_passwords(100, np.random.default_rng(1))))
+        assert sample_chars <= corpus_chars
+
+    def test_deterministic_given_rng(self, fitted):
+        a = fitted.sample_passwords(20, np.random.default_rng(3))
+        b = fitted.sample_passwords(20, np.random.default_rng(3))
+        assert a == b
+
+
+class TestLogProb:
+    def test_train_password_likelier_than_noise(self, fitted, corpus):
+        real = corpus[0]
+        assert fitted.log_prob(real) > fitted.log_prob("zqxjwvkpfy"[: len(real)])
+
+    def test_out_of_alphabet_char(self, fitted):
+        assert fitted.log_prob("love☃") == float("-inf")
+
+    def test_log_prob_is_negative(self, fitted):
+        assert fitted.log_prob("love12") < 0
+
+    def test_memorizes_single_password_corpus(self):
+        model = MarkovModel(order=1, smoothing=1e-6).fit(["ababab"] * 10)
+        samples = model.sample_passwords(20, np.random.default_rng(0))
+        # order-1 chain on pure "ab" alternation stays in {a, b}
+        assert all(set(s) <= {"a", "b"} for s in samples if s)

@@ -1,0 +1,61 @@
+"""Weir-style PCFG baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pcfg import PCFGModel, segment, structure_of
+
+
+class TestSegmentation:
+    def test_word_digits(self):
+        assert segment("love12") == [("L", "love"), ("D", "12")]
+
+    def test_symbols(self):
+        assert segment("ab!cd") == [("L", "ab"), ("S", "!"), ("L", "cd")]
+
+    def test_structure_string(self):
+        assert structure_of("love12!") == "L4 D2 S1"
+
+    def test_empty(self):
+        assert segment("") == []
+
+
+class TestModel:
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            PCFGModel().fit([])
+
+    def test_sample_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            PCFGModel().sample_passwords(1, np.random.default_rng(0))
+
+    def test_samples_follow_learned_structures(self, corpus):
+        model = PCFGModel().fit(corpus)
+        learned = set(model._structures)
+        for password in model.sample_passwords(100, np.random.default_rng(0)):
+            assert structure_of(password) in learned
+
+    def test_recombination_generates_novel_passwords(self):
+        # the whole point of PCFG: novel terminal combinations
+        model = PCFGModel().fit(["love12", "star99", "moon12"])
+        samples = set(model.sample_passwords(300, np.random.default_rng(1)))
+        novel = samples - {"love12", "star99", "moon12"}
+        assert "love99" in samples or "star12" in samples or novel
+
+    def test_log_prob_of_training_password(self, corpus):
+        model = PCFGModel().fit(corpus)
+        assert np.isfinite(model.log_prob(corpus[0]))
+
+    def test_log_prob_unknown_structure(self, corpus):
+        model = PCFGModel().fit(["love12"])
+        assert model.log_prob("!!!!!!!!") == float("-inf")
+
+    def test_log_prob_unknown_terminal(self):
+        model = PCFGModel().fit(["love12"])
+        assert model.log_prob("hate34") == float("-inf")
+
+    def test_deterministic_sampling(self, corpus):
+        model = PCFGModel().fit(corpus)
+        a = model.sample_passwords(30, np.random.default_rng(5))
+        b = model.sample_passwords(30, np.random.default_rng(5))
+        assert a == b

@@ -1,0 +1,48 @@
+"""Rule-based (HashCat-style) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rules import RuleBasedGuesser, letter_stem
+
+
+class TestLetterStem:
+    def test_extracts_leading_letters(self):
+        assert letter_stem("love123") == "love"
+
+    def test_lowercases(self):
+        assert letter_stem("Love123") == "love"
+
+    def test_stops_at_digit(self):
+        assert letter_stem("ab1cd") == "ab"
+
+    def test_empty_for_digit_start(self):
+        assert letter_stem("123abc") == ""
+
+
+class TestGuesser:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RuleBasedGuesser(wordlist_size=0)
+
+    def test_sample_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RuleBasedGuesser().sample_passwords(1, np.random.default_rng(0))
+
+    def test_wordlist_from_common_stems(self, corpus):
+        guesser = RuleBasedGuesser(wordlist_size=50).fit(corpus)
+        assert len(guesser.wordlist) <= 50
+        assert any(w.isalpha() for w in guesser.wordlist)
+
+    def test_sample_count_and_lengths(self, corpus):
+        guesser = RuleBasedGuesser().fit(corpus)
+        samples = guesser.sample_passwords(40, np.random.default_rng(0))
+        assert len(samples) == 40
+        assert all(0 < len(s) <= 10 for s in samples)
+
+    def test_guesses_derive_from_wordlist(self, corpus):
+        guesser = RuleBasedGuesser(wordlist_size=10).fit(corpus)
+        stems = {w[:3].lower() for w in guesser.wordlist}
+        samples = guesser.sample_passwords(50, np.random.default_rng(1))
+        hits = sum(1 for s in samples if s[:3].lower() in stems)
+        assert hits > 25  # most guesses keep their stem prefix

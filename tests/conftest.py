@@ -1,0 +1,63 @@
+"""Shared fixtures.
+
+The expensive artifact -- a trained (tiny) PassFlow model over a synthetic
+corpus -- is session-scoped so the core/analysis/eval tests reuse one
+training run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import PassFlow, PassFlowConfig
+from repro.data.alphabet import compact_alphabet
+from repro.data.dataset import PasswordDataset
+from repro.data.synthetic import SyntheticConfig, SyntheticRockYou
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def session_rng() -> np.random.Generator:
+    return np.random.default_rng(999)
+
+
+@pytest.fixture(scope="session")
+def alphabet():
+    return compact_alphabet()
+
+
+@pytest.fixture(scope="session")
+def corpus(alphabet):
+    generator = SyntheticRockYou(
+        np.random.default_rng(7),
+        SyntheticConfig(vocabulary_size=20, max_suffix_digits=2),
+        alphabet,
+    )
+    return generator.generate(3000)
+
+
+@pytest.fixture(scope="session")
+def trained_model(alphabet, corpus):
+    """A tiny PassFlow trained enough to have a meaningful latent space."""
+    config = PassFlowConfig(
+        alphabet_chars=alphabet.chars,
+        num_couplings=6,
+        hidden=32,
+        batch_size=128,
+        epochs=12,
+        seed=11,
+    )
+    model = PassFlow(config)
+    dataset = PasswordDataset(corpus[:1500], corpus[1500:], model.encoder)
+    model.fit(dataset)
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_dataset(trained_model, corpus):
+    return PasswordDataset(corpus[:1500], corpus[1500:], trained_model.encoder)

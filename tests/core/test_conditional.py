@@ -1,0 +1,64 @@
+"""Conditional guessing extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.conditional import ConditionalGuesser, matches_template
+
+
+class TestTemplateMatching:
+    def test_exact(self):
+        assert matches_template("jimmy91", "jimmy91")
+
+    def test_wildcards(self):
+        assert matches_template("jimmy91", "jimmy**")
+        assert matches_template("jimmy91", "*immy9*")
+
+    def test_length_mismatch(self):
+        assert not matches_template("jimmy9", "jimmy**")
+
+    def test_fixed_char_mismatch(self):
+        assert not matches_template("jimmy91", "tommy**")
+
+
+class TestGuesser:
+    def test_validation(self, trained_model):
+        with pytest.raises(ValueError):
+            ConditionalGuesser(trained_model, population=2)
+        with pytest.raises(ValueError):
+            ConditionalGuesser(trained_model, elite_fraction=0.0)
+        with pytest.raises(ValueError):
+            ConditionalGuesser(trained_model, noise_scale=0.0)
+
+    def test_no_wildcard_passthrough(self, trained_model):
+        guesser = ConditionalGuesser(trained_model)
+        assert guesser.guess("love12") == ["love12"]
+
+    def test_template_too_long_raises(self, trained_model):
+        guesser = ConditionalGuesser(trained_model)
+        with pytest.raises(ValueError):
+            guesser.guess("a" * 11 + "*")
+
+    def test_template_bad_chars_raise(self, trained_model):
+        guesser = ConditionalGuesser(trained_model)
+        with pytest.raises(ValueError):
+            guesser.guess("LOVE**")  # uppercase not in compact alphabet
+
+    def test_guesses_respect_template(self, trained_model):
+        guesser = ConditionalGuesser(trained_model, population=64)
+        guesses = guesser.guess("love**", rounds=4, top_k=8, rng=np.random.default_rng(0))
+        assert guesses, "search should find at least one feasible completion"
+        assert all(matches_template(g, "love**") for g in guesses)
+
+    def test_guesses_unique_and_ranked(self, trained_model):
+        guesser = ConditionalGuesser(trained_model, population=64)
+        guesses = guesser.guess("love*", rounds=4, top_k=10, rng=np.random.default_rng(1))
+        assert len(guesses) == len(set(guesses))
+        if len(guesses) >= 2:
+            scores = trained_model.log_prob(guesses)
+            assert scores[0] >= scores[-1]
+
+    def test_top_k_respected(self, trained_model):
+        guesser = ConditionalGuesser(trained_model, population=64)
+        guesses = guesser.guess("mar***", rounds=3, top_k=3, rng=np.random.default_rng(2))
+        assert len(guesses) <= 3

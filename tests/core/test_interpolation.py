@@ -1,0 +1,47 @@
+"""Latent interpolation (Algorithm 2)."""
+
+import pytest
+
+from repro.core.interpolation import interpolate, interpolation_grid
+
+
+class TestInterpolate:
+    def test_step_count(self, trained_model):
+        path = interpolate(trained_model, "love12", "123456", steps=5)
+        assert len(path) == 6
+
+    def test_endpoints_decode_to_inputs(self, trained_model):
+        path = interpolate(trained_model, "love12", "123456", steps=4)
+        assert path[0] == "love12"
+        assert path[-1] == "123456"
+
+    def test_exclude_endpoints(self, trained_model):
+        path = interpolate(trained_model, "love12", "123456", steps=4, include_endpoints=False)
+        assert len(path) == 3
+
+    def test_single_step(self, trained_model):
+        path = interpolate(trained_model, "aa", "bb", steps=1)
+        assert len(path) == 2
+
+    def test_invalid_steps(self, trained_model):
+        with pytest.raises(ValueError):
+            interpolate(trained_model, "aa", "bb", steps=0)
+
+    def test_same_password_constant_path(self, trained_model):
+        path = interpolate(trained_model, "love12", "love12", steps=3)
+        assert all(p == "love12" for p in path)
+
+    def test_all_outputs_decodable_strings(self, trained_model):
+        path = interpolate(trained_model, "maria99", "qwerty", steps=8)
+        assert all(isinstance(p, str) and len(p) <= 10 for p in path)
+
+
+class TestGrid:
+    def test_pairs(self, trained_model):
+        grid = interpolation_grid(trained_model, ["aa", "bb", "cc"], steps=2)
+        assert len(grid) == 2
+        assert all(len(path) == 3 for path in grid)
+
+    def test_needs_two_anchors(self, trained_model):
+        with pytest.raises(ValueError):
+            interpolation_grid(trained_model, ["aa"])

@@ -1,0 +1,133 @@
+"""PassFlow model: configuration, training, latent API, checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import PassFlow, PassFlowConfig, TrainingHistory
+from repro.data.alphabet import compact_alphabet
+from repro.data.dataset import PasswordDataset
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = PassFlowConfig.paper()
+        assert config.num_couplings == 18
+        assert config.hidden == 256
+        assert config.batch_size == 512
+        assert config.epochs == 400
+        assert config.learning_rate == 1e-3
+        assert config.mask_strategy == "char-run-1"
+        assert config.max_length == 10
+
+    def test_presets_shrink(self):
+        assert PassFlowConfig.tiny().hidden < PassFlowConfig.small().hidden < 256
+
+
+class TestConstruction:
+    def test_builds_correct_coupling_count(self):
+        model = PassFlow(PassFlowConfig.tiny())
+        from repro.flows.coupling import AffineCoupling
+
+        couplings = [b for b in model.flow.bijectors if isinstance(b, AffineCoupling)]
+        assert len(couplings) == PassFlowConfig.tiny().num_couplings
+
+    def test_actnorm_optional(self):
+        config = PassFlowConfig.tiny()
+        config.use_actnorm = True
+        model = PassFlow(config)
+        from repro.flows.actnorm import ActNorm
+
+        assert any(isinstance(b, ActNorm) for b in model.flow.bijectors)
+
+    def test_custom_alphabet(self):
+        config = PassFlowConfig.tiny()
+        config.alphabet_chars = compact_alphabet().chars
+        model = PassFlow(config)
+        assert len(model.alphabet) == len(compact_alphabet())
+
+
+class TestTraining:
+    def test_fit_decreases_nll(self, corpus, alphabet):
+        config = PassFlowConfig.tiny(seed=3)
+        config.alphabet_chars = alphabet.chars
+        model = PassFlow(config)
+        history = model.fit(corpus[:400], epochs=4)
+        assert history.nll[-1] < history.nll[0]
+
+    def test_fit_accepts_raw_list(self, alphabet):
+        config = PassFlowConfig.tiny()
+        config.alphabet_chars = alphabet.chars
+        model = PassFlow(config)
+        history = model.fit(["love12", "love34"] * 80, epochs=1)
+        assert len(history.nll) == 1
+
+    def test_history_best_epoch(self):
+        history = TrainingHistory(nll=[5.0, 2.0, 3.0])
+        assert history.best_epoch == 1
+
+    def test_history_empty_raises(self):
+        with pytest.raises(ValueError):
+            TrainingHistory().best_epoch
+
+
+class TestLatentAPI:
+    def test_encode_decode_roundtrip(self, trained_model):
+        passwords = ["love12", "maria2", "qwerty"]
+        latents = trained_model.encode_passwords(passwords)
+        assert latents.shape == (3, 10)
+        assert trained_model.decode_latents(latents) == passwords
+
+    def test_log_prob_prefers_training_distribution(self, trained_model, corpus):
+        real = list(dict.fromkeys(corpus))[:50]
+        rng = np.random.default_rng(0)
+        chars = trained_model.alphabet.chars
+        random_strings = [
+            "".join(chars[i] for i in rng.integers(0, len(chars), size=8)) for _ in range(50)
+        ]
+        real_lp = trained_model.log_prob(real).mean()
+        random_lp = trained_model.log_prob(random_strings).mean()
+        assert real_lp > random_lp + 1.0
+
+    def test_sample_passwords_count_and_type(self, trained_model):
+        samples = trained_model.sample_passwords(25, rng=np.random.default_rng(0))
+        assert len(samples) == 25
+        assert all(isinstance(s, str) for s in samples)
+
+    def test_samples_within_length_budget(self, trained_model):
+        samples = trained_model.sample_passwords(50, rng=np.random.default_rng(1))
+        assert all(len(s) <= 10 for s in samples)
+
+    def test_decode_features_path(self, trained_model):
+        latents = trained_model.sample_latents(5, rng=np.random.default_rng(2))
+        features = trained_model.decode_latents_to_features(latents)
+        assert features.shape == (5, 10)
+        decoded = trained_model.encoder.decode_batch(features)
+        assert decoded == trained_model.decode_latents(latents)
+
+
+class TestCheckpointing:
+    def test_save_load_roundtrip(self, trained_model, tmp_path):
+        path = tmp_path / "model.npz"
+        trained_model.save(path)
+        restored = PassFlow.load(path)
+        passwords = ["love12", "magic7"]
+        assert np.allclose(
+            restored.encode_passwords(passwords),
+            trained_model.encode_passwords(passwords),
+        )
+        assert restored.history.nll == trained_model.history.nll
+
+    def test_loaded_model_config_matches(self, trained_model, tmp_path):
+        path = tmp_path / "model.npz"
+        trained_model.save(path)
+        restored = PassFlow.load(path)
+        assert restored.config == trained_model.config
+
+    def test_loaded_model_samples(self, trained_model, tmp_path):
+        path = tmp_path / "model.npz"
+        trained_model.save(path)
+        restored = PassFlow.load(path)
+        rng_a, rng_b = np.random.default_rng(5), np.random.default_rng(5)
+        assert restored.sample_passwords(10, rng=rng_a) == trained_model.sample_passwords(
+            10, rng=rng_b
+        )

@@ -1,0 +1,44 @@
+"""fit() options: best-epoch restoration, validation tracking, divergence."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import PassFlow, PassFlowConfig, TrainingHistory
+from repro.data.dataset import PasswordDataset
+
+
+def make_model(alphabet, seed=21):
+    config = PassFlowConfig.tiny(seed=seed)
+    config.alphabet_chars = alphabet.chars
+    return PassFlow(config)
+
+
+class TestKeepBest:
+    def test_restores_lowest_nll_weights(self, alphabet, corpus):
+        model = make_model(alphabet)
+        dataset = PasswordDataset(corpus[:400], [], model.encoder)
+        model.fit(dataset, epochs=5, keep_best=True)
+        # after restore, evaluating train NLL should be close to the best
+        # epoch's recorded value, not necessarily the last one's
+        features = model.encoder.encode_batch(corpus[:400])
+        final_nll = -float(np.mean(model.flow.log_prob(features)))
+        best_recorded = min(model.history.nll)
+        assert final_nll <= best_recorded + 1.0
+
+    def test_validation_series_tracked(self, alphabet, corpus):
+        model = make_model(alphabet, seed=22)
+        dataset = PasswordDataset(corpus[:400], [], model.encoder)
+        model.fit(dataset, epochs=3, validation=corpus[400:600])
+        assert len(model.history.val_nll) == 3
+        assert all(np.isfinite(v) for v in model.history.val_nll)
+
+    def test_best_epoch_prefers_validation(self):
+        history = TrainingHistory(nll=[3.0, 1.0, 2.0], val_nll=[5.0, 4.0, 3.5])
+        assert history.best_epoch == 2  # from val series, not train
+
+    def test_divergence_raises(self, alphabet, corpus):
+        model = make_model(alphabet, seed=23)
+        model.config.learning_rate = 1e9  # guaranteed explosion
+        dataset = PasswordDataset(corpus[:300], [], model.encoder)
+        with pytest.raises(FloatingPointError):
+            model.fit(dataset, epochs=3)

@@ -1,0 +1,64 @@
+"""phi functions (Sec. IV-B and future-work variants)."""
+
+import numpy as np
+import pytest
+
+from repro.core.penalization import (
+    ExponentialDecayPenalization,
+    LinearDecayPenalization,
+    NoPenalization,
+    StepPenalization,
+)
+
+
+class TestStep:
+    def test_one_below_gamma_zero_after(self):
+        phi = StepPenalization(gamma=3)
+        assert np.allclose(phi(np.array([0, 2, 3, 10])), [1, 1, 0, 0])
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            StepPenalization(0)
+
+    def test_negative_counts_raise(self):
+        with pytest.raises(ValueError):
+            StepPenalization(2)(np.array([-1]))
+
+
+class TestNoPenalization:
+    def test_always_one(self):
+        phi = NoPenalization()
+        assert np.allclose(phi(np.array([0, 5, 1000])), 1.0)
+
+
+class TestLinearDecay:
+    def test_decays_to_zero_at_horizon(self):
+        phi = LinearDecayPenalization(horizon=4)
+        assert np.allclose(phi(np.array([0, 1, 2, 4, 8])), [1.0, 0.75, 0.5, 0.0, 0.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearDecayPenalization(0)
+
+
+class TestExponentialDecay:
+    def test_halves_each_use(self):
+        phi = ExponentialDecayPenalization(decay=0.5)
+        assert np.allclose(phi(np.array([0, 1, 2])), [1.0, 0.5, 0.25])
+
+    def test_never_exactly_zero(self):
+        phi = ExponentialDecayPenalization(decay=0.9)
+        assert np.all(phi(np.array([100])) > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialDecayPenalization(decay=1.0)
+        with pytest.raises(ValueError):
+            ExponentialDecayPenalization(decay=0.0)
+
+
+class TestReprs:
+    def test_reprs_identify_params(self):
+        assert "3" in repr(StepPenalization(3))
+        assert "5" in repr(LinearDecayPenalization(5))
+        assert "0.5" in repr(ExponentialDecayPenalization(0.5))

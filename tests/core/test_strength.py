@@ -1,0 +1,72 @@
+"""Password-strength estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.strength import BAND_LABELS, StrengthEstimator
+
+
+@pytest.fixture(scope="module")
+def estimator(trained_model, corpus):
+    return StrengthEstimator(trained_model, reference=corpus[:500])
+
+
+class TestCalibration:
+    def test_needs_enough_reference(self, trained_model):
+        with pytest.raises(ValueError):
+            StrengthEstimator(trained_model, reference=["a"] * 5)
+
+    def test_uncalibrated_percentile_raises(self, trained_model):
+        estimator = StrengthEstimator(trained_model)
+        with pytest.raises(RuntimeError):
+            estimator.percentile("love12")
+
+    def test_calibrated_flag(self, trained_model, corpus):
+        estimator = StrengthEstimator(trained_model)
+        assert not estimator.calibrated
+        estimator.calibrate(corpus[:100])
+        assert estimator.calibrated
+
+
+class TestScoring:
+    def test_common_password_weaker_than_random(self, estimator, trained_model):
+        rng = np.random.default_rng(0)
+        chars = trained_model.alphabet.chars
+        random_password = "".join(chars[i] for i in rng.integers(0, len(chars), size=9))
+        assert estimator.percentile("love12") < estimator.percentile(random_password)
+
+    def test_percentile_in_unit_interval(self, estimator, corpus):
+        for password in corpus[:20]:
+            assert 0.0 <= estimator.percentile(password) <= 1.0
+
+    def test_score_bands(self, estimator, corpus):
+        scores = {estimator.score(p) for p in corpus[:50]}
+        assert scores <= set(range(5))
+
+    def test_label_maps_score(self, estimator):
+        label = estimator.label("love12")
+        assert label in BAND_LABELS
+
+    def test_report_rows(self, estimator):
+        rows = estimator.report(["love12", "zq8kfp2x"])
+        assert len(rows) == 2
+        assert {"password", "log_prob", "percentile", "band"} <= set(rows[0])
+
+
+class TestGuessRank:
+    def test_validation(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.guess_rank("x", sample_size=0)
+
+    def test_rank_at_least_one(self, estimator):
+        rank = estimator.guess_rank("love12", sample_size=256, rng=np.random.default_rng(1))
+        assert rank >= 1.0 and np.isfinite(rank)
+
+    def test_weak_password_lower_rank(self, estimator, trained_model):
+        rng_a, rng_b = np.random.default_rng(2), np.random.default_rng(2)
+        weak = estimator.guess_rank("love12", sample_size=512, rng=rng_a)
+        chars = trained_model.alphabet.chars
+        rand_rng = np.random.default_rng(3)
+        strong_pw = "".join(chars[i] for i in rand_rng.integers(0, len(chars), size=10))
+        strong = estimator.guess_rank(strong_pw, sample_size=512, rng=rng_b)
+        assert weak < strong, f"weak={weak} should rank far below strong={strong}"

@@ -1,0 +1,63 @@
+"""Alphabet semantics."""
+
+import pytest
+
+from repro.data.alphabet import Alphabet, compact_alphabet, default_alphabet
+
+
+class TestConstruction:
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Alphabet("aab")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Alphabet("")
+
+    def test_rejects_nul(self):
+        with pytest.raises(ValueError):
+            Alphabet("a\x00b")
+
+    def test_len_includes_pad(self):
+        assert len(Alphabet("abc")) == 4
+
+
+class TestMapping:
+    def test_roundtrip_all_chars(self):
+        alpha = default_alphabet()
+        for ch in alpha.chars:
+            assert alpha.char_at(alpha.index_of(ch)) == ch
+
+    def test_pad_is_index_zero(self):
+        alpha = Alphabet("xy")
+        assert alpha.char_at(Alphabet.PAD_INDEX) == ""
+
+    def test_index_one_based(self):
+        assert Alphabet("abc").index_of("a") == 1
+
+    def test_unknown_char_raises(self):
+        with pytest.raises(KeyError):
+            Alphabet("abc").index_of("z")
+
+    def test_unknown_index_raises(self):
+        with pytest.raises(KeyError):
+            Alphabet("abc").char_at(99)
+
+    def test_contains(self):
+        alpha = Alphabet("abc")
+        assert "a" in alpha and "z" not in alpha
+
+
+class TestFiltering:
+    def test_is_representable(self):
+        alpha = compact_alphabet()
+        assert alpha.is_representable("love123")
+        assert not alpha.is_representable("Love123")  # no uppercase
+
+    def test_filter_representable(self):
+        alpha = compact_alphabet()
+        kept = alpha.filter_representable(["abc", "A!", "12"])
+        assert kept == ["abc", "12"]
+
+    def test_empty_password_representable(self):
+        assert compact_alphabet().is_representable("")

@@ -1,0 +1,105 @@
+"""Dataset split, cleaning and batching (the Sec. IV-D pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.data.alphabet import compact_alphabet
+from repro.data.dataset import PasswordDataset, clean_test_set, train_test_split
+from repro.data.encoding import PasswordEncoder
+
+
+@pytest.fixture
+def encoder():
+    return PasswordEncoder(compact_alphabet(), max_length=10)
+
+
+class TestSplit:
+    def test_fraction_respected(self, rng):
+        train, test = train_test_split([f"pw{i}" for i in range(100)], rng, 0.8)
+        assert len(train) == 80 and len(test) == 20
+
+    def test_partition_is_complete(self, rng):
+        corpus = [f"pw{i}" for i in range(50)]
+        train, test = train_test_split(corpus, rng)
+        assert sorted(train + test) == sorted(corpus)
+
+    def test_invalid_fraction_raises(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(["a"], rng, 1.0)
+
+
+class TestCleaning:
+    def test_removes_duplicates(self):
+        assert clean_test_set(["a", "a", "b"], []) == ["a", "b"]
+
+    def test_removes_train_intersection(self):
+        assert clean_test_set(["a", "b", "c"], ["b"]) == ["a", "c"]
+
+    def test_preserves_order(self):
+        assert clean_test_set(["z", "a", "z", "m"], []) == ["z", "a", "m"]
+
+    def test_empty_inputs(self):
+        assert clean_test_set([], ["x"]) == []
+
+
+class TestPasswordDataset:
+    def test_empty_train_raises(self, encoder):
+        with pytest.raises(ValueError):
+            PasswordDataset([], ["x"], encoder)
+
+    def test_test_cleaned_on_construction(self, encoder):
+        ds = PasswordDataset(["love1"], ["love1", "love2", "love2"], encoder)
+        assert ds.test == ["love2"]
+
+    def test_test_set_property(self, encoder):
+        ds = PasswordDataset(["a"], ["b", "c"], encoder)
+        assert ds.test_set == {"b", "c"}
+
+    def test_train_features_cached_shape(self, encoder):
+        ds = PasswordDataset(["abc", "de"], [], encoder)
+        feats = ds.train_features
+        assert feats.shape == (2, 10)
+        assert ds.train_features is feats  # cached
+
+    def test_stats(self, encoder):
+        ds = PasswordDataset(["aa", "aa", "bbbb"], ["aa", "cc"], encoder)
+        stats = ds.stats()
+        assert stats.train_size == 3
+        assert stats.train_unique == 2
+        assert stats.test_size_clean == 1  # "aa" removed
+        assert abs(stats.mean_length - (2 + 2 + 4) / 3) < 1e-9
+
+    def test_frequency_table(self, encoder):
+        ds = PasswordDataset(["x", "x", "y"], [], encoder)
+        assert ds.frequency_table(1) == [("x", 2)]
+
+
+class TestBatches:
+    def test_batches_cover_epoch(self, encoder, rng):
+        ds = PasswordDataset([f"pw{i}" for i in range(10)], [], encoder)
+        total = sum(len(b) for b in ds.batches(3, rng))
+        assert total == 10
+
+    def test_batch_shapes(self, encoder, rng):
+        ds = PasswordDataset([f"pw{i}" for i in range(8)], [], encoder)
+        batches = list(ds.batches(4, rng, dequantize=False))
+        assert all(b.shape == (4, 10) for b in batches)
+
+    def test_dequantize_changes_values(self, encoder, rng):
+        ds = PasswordDataset(["abcdef"] * 6, [], encoder)
+        clean = next(ds.batches(6, np.random.default_rng(0), dequantize=False))
+        noisy = next(ds.batches(6, np.random.default_rng(0), dequantize=True))
+        assert not np.allclose(clean, noisy)
+        assert np.max(np.abs(clean - noisy)) <= 0.5 * encoder.bin_width
+
+    def test_invalid_batch_size(self, encoder, rng):
+        ds = PasswordDataset(["a"], [], encoder)
+        with pytest.raises(ValueError):
+            list(ds.batches(0, rng))
+
+    def test_shuffling_differs_across_epochs(self, encoder):
+        ds = PasswordDataset([f"pw{i}" for i in range(64)], [], encoder)
+        rng = np.random.default_rng(0)
+        first = np.concatenate(list(ds.batches(64, rng, dequantize=False)))
+        second = np.concatenate(list(ds.batches(64, rng, dequantize=False)))
+        assert not np.allclose(first, second)

@@ -1,0 +1,101 @@
+"""Password <-> feature-vector codec, including dequantization invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.alphabet import compact_alphabet, default_alphabet
+from repro.data.encoding import PasswordEncoder
+
+
+@pytest.fixture
+def encoder():
+    return PasswordEncoder(default_alphabet(), max_length=10)
+
+
+class TestIndices:
+    def test_pads_to_length(self, encoder):
+        idx = encoder.to_indices("abc")
+        assert idx.shape == (10,)
+        assert np.all(idx[3:] == 0)
+
+    def test_too_long_raises(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.to_indices("x" * 11)
+
+    def test_from_indices_stops_at_pad(self, encoder):
+        idx = encoder.to_indices("hi")
+        idx[5] = encoder.alphabet.index_of("z")  # junk after PAD is ignored
+        assert encoder.from_indices(idx) == "hi"
+
+    def test_empty_password(self, encoder):
+        assert encoder.from_indices(encoder.to_indices("")) == ""
+
+
+class TestFloatCodec:
+    def test_roundtrip(self, encoder):
+        for password in ("love123", "", "a", "QWERTY!#", "0123456789"):
+            assert encoder.decode(encoder.encode(password)) == password
+
+    def test_bin_centers_in_unit_interval(self, encoder):
+        feats = encoder.encode("zz99")
+        assert np.all((feats > 0) & (feats < 1))
+
+    def test_decode_clips_out_of_range(self, encoder):
+        values = np.array([-0.5] * 5 + [1.5] * 5)
+        decoded = encoder.decode(values)  # must not raise
+        assert isinstance(decoded, str)
+
+    def test_batch_roundtrip(self, encoder):
+        passwords = ["abc", "love99", ""]
+        feats = encoder.encode_batch(passwords)
+        assert feats.shape == (3, 10)
+        assert encoder.decode_batch(feats) == passwords
+
+    def test_empty_batch(self, encoder):
+        assert encoder.encode_batch([]).shape == (0, 10)
+
+    def test_invalid_max_length(self):
+        with pytest.raises(ValueError):
+            PasswordEncoder(default_alphabet(), max_length=0)
+
+
+class TestDequantization:
+    def test_dequantize_preserves_decoding(self, encoder):
+        rng = np.random.default_rng(0)
+        passwords = ["hello1", "pass99", "x"]
+        feats = encoder.encode_batch(passwords)
+        noisy = encoder.dequantize(feats, rng)
+        assert encoder.decode_batch(noisy) == passwords
+
+    def test_noise_bounded_by_bin(self, encoder):
+        rng = np.random.default_rng(1)
+        feats = encoder.encode_batch(["abcde"] * 50)
+        noisy = encoder.dequantize(feats, rng)
+        assert np.max(np.abs(noisy - feats)) <= 0.5 * encoder.bin_width
+
+    def test_clamp_to_data_range(self, encoder):
+        clamped = encoder.clamp_to_data_range(np.array([-1.0, 0.5, 2.0]))
+        assert np.all((clamped > 0) & (clamped < 1))
+
+
+@given(
+    st.text(alphabet=st.sampled_from(list(compact_alphabet().chars)), min_size=0, max_size=10)
+)
+@settings(max_examples=80, deadline=None)
+def test_roundtrip_property(password):
+    encoder = PasswordEncoder(compact_alphabet(), max_length=10)
+    assert encoder.decode(encoder.encode(password)) == password
+
+
+@given(
+    st.text(alphabet=st.sampled_from(list(compact_alphabet().chars)), min_size=1, max_size=10),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_dequantized_roundtrip_property(password, seed):
+    encoder = PasswordEncoder(compact_alphabet(), max_length=10)
+    rng = np.random.default_rng(seed)
+    noisy = encoder.dequantize(encoder.encode(password)[None, :], rng)
+    assert encoder.decode_batch(noisy) == [password]

@@ -1,0 +1,71 @@
+"""Mangling rules and the rule engine."""
+
+import numpy as np
+import pytest
+
+from repro.data import mangling
+
+
+class TestDeterministicRules:
+    def test_identity(self):
+        assert mangling.identity("love") == "love"
+
+    def test_capitalize(self):
+        assert mangling.capitalize("love") == "Love"
+        assert mangling.capitalize("") == ""
+
+    def test_uppercase_reverse(self):
+        assert mangling.uppercase("ab") == "AB"
+        assert mangling.reverse("abc") == "cba"
+
+    def test_leet_full(self):
+        assert mangling.leet("least") == "l3457"
+
+    def test_leet_map_covers_expected(self):
+        assert mangling.LEET_MAP["a"] == "4"
+        assert mangling.LEET_MAP["o"] == "0"
+
+
+class TestStochasticRules:
+    def test_append_digits_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            out = mangling.append_digits("word", rng, max_digits=3)
+            suffix = out[len("word"):]
+            assert 1 <= len(suffix) <= 3 and suffix.isdigit()
+
+    def test_append_year_plausible(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            suffix = mangling.append_year("w", rng)[1:]
+            assert len(suffix) in (2, 4) and suffix.isdigit()
+            if len(suffix) == 4:
+                assert 1950 <= int(suffix) <= 2022
+
+    def test_append_symbol(self):
+        rng = np.random.default_rng(2)
+        out = mangling.append_symbol("word", rng)
+        assert len(out) == 5 and out[-1] in "!.@#*_-?"
+
+    def test_leet_partial_probability_extremes(self):
+        rng = np.random.default_rng(3)
+        assert mangling.leet_partial("least", rng, probability=0.0) == "least"
+        assert mangling.leet_partial("least", rng, probability=1.0) == "l3457"
+
+
+class TestRuleEngine:
+    def test_expand_contains_deterministic_forms(self):
+        engine = mangling.RuleEngine(np.random.default_rng(0))
+        guesses = set(engine.expand(["love"], samples_per_word=0))
+        assert {"love", "Love", "LOVE", "evol", "l0v3"} <= guesses
+
+    def test_expand_count(self):
+        engine = mangling.RuleEngine(np.random.default_rng(0))
+        guesses = engine.expand(["a", "b"], samples_per_word=3)
+        assert len(guesses) == 2 * (len(mangling.DETERMINISTIC_RULES) + 3)
+
+    def test_stochastic_variant_keeps_stem(self):
+        engine = mangling.RuleEngine(np.random.default_rng(4))
+        for _ in range(30):
+            out = engine.stochastic_variant("word")
+            assert out.lower().startswith("w")

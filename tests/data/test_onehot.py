@@ -1,0 +1,82 @@
+"""One-hot password codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.alphabet import compact_alphabet
+from repro.data.onehot import OneHotEncoder
+
+
+@pytest.fixture
+def encoder():
+    return OneHotEncoder(compact_alphabet(), max_length=10)
+
+
+class TestEncode:
+    def test_shape_and_rowsums(self, encoder):
+        flat = encoder.encode("love12")
+        assert flat.shape == (encoder.flat_dim,)
+        matrix = flat.reshape(10, encoder.vocab_size)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_padding_positions_hit_pad(self, encoder):
+        matrix = encoder.encode("ab").reshape(10, encoder.vocab_size)
+        assert np.all(matrix[2:, 0] == 1.0)
+
+    def test_too_long_raises(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.encode("x" * 11)
+
+    def test_batch_shape(self, encoder):
+        assert encoder.encode_batch(["a", "bb"]).shape == (2, encoder.flat_dim)
+
+    def test_empty_batch(self, encoder):
+        assert encoder.encode_batch([]).shape == (0, encoder.flat_dim)
+
+    def test_invalid_max_length(self):
+        with pytest.raises(ValueError):
+            OneHotEncoder(compact_alphabet(), max_length=0)
+
+
+class TestDecode:
+    def test_roundtrip(self, encoder):
+        for password in ("love12", "", "a", "0123456789"):
+            assert encoder.decode(encoder.encode(password)) == password
+
+    def test_soft_input_argmax(self, encoder):
+        soft = encoder.encode("hi") * 0.6 + 0.01  # blurred but argmax intact
+        assert encoder.decode(soft) == "hi"
+
+    def test_wrong_size_raises(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.decode(np.zeros(5))
+
+    def test_batch(self, encoder):
+        passwords = ["love", "12", ""]
+        assert encoder.decode_batch(encoder.encode_batch(passwords)) == passwords
+
+
+class TestSmoothing:
+    def test_rows_stay_normalized(self, encoder):
+        onehot = encoder.encode_batch(["love12"] * 8)
+        smoothed = encoder.smooth(onehot, np.random.default_rng(0), gamma=0.05)
+        shaped = smoothed.reshape(-1, 10, encoder.vocab_size)
+        assert np.allclose(shaped.sum(axis=2), 1.0)
+
+    def test_argmax_preserved_for_small_gamma(self, encoder):
+        onehot = encoder.encode_batch(["love12"] * 8)
+        smoothed = encoder.smooth(onehot, np.random.default_rng(1), gamma=0.01)
+        assert encoder.decode_batch(smoothed) == ["love12"] * 8
+
+    def test_gamma_validation(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.smooth(encoder.encode("a"), np.random.default_rng(0), gamma=0.0)
+
+
+@given(st.text(alphabet=st.sampled_from(list(compact_alphabet().chars)), max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_property(password):
+    encoder = OneHotEncoder(compact_alphabet(), max_length=10)
+    assert encoder.decode(encoder.encode(password)) == password

@@ -1,0 +1,49 @@
+"""Real-password-file loader."""
+
+import pytest
+
+from repro.data.alphabet import compact_alphabet
+from repro.data.rockyou import load_password_file
+
+
+@pytest.fixture
+def password_file(tmp_path):
+    path = tmp_path / "leak.txt"
+    path.write_text(
+        "\n".join(
+            [
+                "love123",
+                "thispasswordistoolong",
+                "UPPER",  # not representable in compact alphabet
+                "",
+                "qwerty",
+                "short",
+            ]
+        ),
+        encoding="latin-1",
+    )
+    return path
+
+
+class TestLoader:
+    def test_filters_length_and_alphabet(self, password_file):
+        kept = load_password_file(password_file, alphabet=compact_alphabet())
+        assert kept == ["love123", "qwerty", "short"]
+
+    def test_limit(self, password_file):
+        kept = load_password_file(password_file, alphabet=compact_alphabet(), limit=2)
+        assert kept == ["love123", "qwerty"]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_password_file(tmp_path / "nope.txt")
+
+    def test_max_length_override(self, password_file):
+        kept = load_password_file(
+            password_file, alphabet=compact_alphabet(), max_length=5
+        )
+        assert kept == ["short"]
+
+    def test_default_alphabet_keeps_upper(self, password_file):
+        kept = load_password_file(password_file)
+        assert "UPPER" in kept

@@ -1,0 +1,85 @@
+"""Corpus statistics (the substitution-validation toolkit)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.data.statistics import (
+    charclass_mix,
+    compare,
+    head_mass,
+    length_histogram,
+    positional_entropy,
+    summarize,
+    zipf_exponent,
+)
+
+
+class TestZipf:
+    def test_perfect_zipf_recovered(self):
+        # counts ~ 1/rank  =>  exponent ~ 1
+        counts = [int(10000 / r) for r in range(1, 101)]
+        assert abs(zipf_exponent(counts) - 1.0) < 0.05
+
+    def test_uniform_is_flat(self):
+        assert abs(zipf_exponent([50] * 100)) < 1e-9
+
+    def test_needs_three(self):
+        with pytest.raises(ValueError):
+            zipf_exponent([5, 3])
+
+
+class TestPositionalEntropy:
+    def test_constant_position_zero_entropy(self):
+        entropies = positional_entropy(["aX", "aY", "aZ"], max_length=2)
+        assert entropies[0] == 0.0
+        assert entropies[1] > 1.5
+
+    def test_padding_dominates_tail(self):
+        entropies = positional_entropy(["ab", "cd"], max_length=5)
+        assert all(e == 0.0 for e in entropies[2:])  # always PAD
+
+    def test_length_matches_max(self):
+        assert len(positional_entropy(["abc"], max_length=7)) == 7
+
+
+class TestMixAndHistogram:
+    def test_charclass_fractions(self):
+        mix = charclass_mix(["ab1!"])
+        assert mix == {"digit": 0.25, "letter": 0.5, "symbol": 0.25}
+
+    def test_charclass_empty_raises(self):
+        with pytest.raises(ValueError):
+            charclass_mix([""])
+
+    def test_length_histogram_sums_to_one(self):
+        hist = length_histogram(["a", "bb", "cc", "ddd"])
+        assert abs(sum(hist.values()) - 1.0) < 1e-12
+
+    def test_head_mass(self):
+        counter = Counter({"a": 8, "b": 1, "c": 1})
+        assert head_mass(counter, top=1) == 0.8
+
+
+class TestSummarize:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_synthetic_corpus_looks_like_a_leak(self, corpus):
+        stats = summarize(corpus)
+        assert stats.duplication_rate > 0.1          # real leaks repeat a lot
+        assert stats.top10_mass > 0.05               # heavy head
+        assert 0.3 < stats.zipf_exponent < 2.0       # Zipf-ish slope
+        assert 4.0 < stats.mean_length <= 10.0
+        assert stats.charclass_mix["letter"] > stats.charclass_mix["digit"]
+
+    def test_compare_keys(self, corpus):
+        stats = summarize(corpus[:1000])
+        comparison = compare(stats, summarize(corpus[1000:2000]))
+        assert set(comparison) == {
+            "duplication_rate", "top10_mass", "zipf_exponent", "mean_length",
+        }
+        for ours, theirs in comparison.values():
+            assert np.isfinite(ours) and np.isfinite(theirs)

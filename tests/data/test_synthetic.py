@@ -1,0 +1,94 @@
+"""Synthetic RockYou generator: determinism, structure, validation."""
+
+import numpy as np
+import pytest
+
+from repro.data.alphabet import compact_alphabet, default_alphabet
+from repro.data.synthetic import (
+    COMMON_HEAD,
+    SyntheticConfig,
+    SyntheticRockYou,
+)
+
+
+def make_generator(seed=0, **config_kwargs):
+    return SyntheticRockYou(
+        np.random.default_rng(seed),
+        SyntheticConfig(**config_kwargs) if config_kwargs else None,
+        default_alphabet(),
+    )
+
+
+class TestBasics:
+    def test_deterministic_with_seed(self):
+        a = make_generator(seed=5).generate(200)
+        b = make_generator(seed=5).generate(200)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert make_generator(seed=1).generate(100) != make_generator(seed=2).generate(100)
+
+    def test_lengths_bounded(self):
+        for password in make_generator().generate(500):
+            assert 1 <= len(password) <= 10
+
+    def test_all_representable(self):
+        alpha = default_alphabet()
+        assert all(alpha.is_representable(p) for p in make_generator().generate(500))
+
+    def test_count_zero(self):
+        assert make_generator().generate(0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            make_generator().generate(-1)
+
+
+class TestDistribution:
+    def test_has_duplicates_like_a_leak(self):
+        corpus = make_generator().generate(3000)
+        assert len(set(corpus)) < len(corpus)
+
+    def test_head_passwords_frequent(self):
+        corpus = make_generator().generate(5000)
+        top = COMMON_HEAD[0]  # "123456"
+        assert corpus.count(top) >= 20  # zipf head dominates
+
+    def test_contains_digit_suffixed_words(self):
+        corpus = set(make_generator().generate(5000))
+        assert any(p[:-1].isalpha() and p[-1].isdigit() for p in corpus)
+
+    def test_compact_alphabet_lowercases(self):
+        gen = SyntheticRockYou(np.random.default_rng(0), None, compact_alphabet())
+        assert all(p == p.lower() for p in gen.generate(500))
+
+
+class TestConfig:
+    def test_vocabulary_slicing_restricts_stems(self):
+        small = make_generator(seed=3, vocabulary_size=5, pattern_weights={"word": 1.0})
+        words = set(small.generate(300))
+        assert len(words) <= 5
+
+    def test_vocabulary_size_zero_raises(self):
+        with pytest.raises(ValueError):
+            make_generator(vocabulary_size=0)
+
+    def test_max_suffix_digits_respected(self):
+        gen = make_generator(
+            seed=4, max_suffix_digits=1, pattern_weights={"word_digits": 1.0}
+        )
+        for password in gen.generate(300):
+            digits = len(password) - len(password.rstrip("0123456789"))
+            assert digits <= 1
+
+    def test_empty_weights_raise(self):
+        with pytest.raises(ValueError):
+            make_generator(pattern_weights={})
+
+    def test_negative_weights_raise(self):
+        with pytest.raises(ValueError):
+            make_generator(pattern_weights={"word": -1.0})
+
+    def test_single_pattern_only(self):
+        gen = make_generator(seed=6, pattern_weights={"digits_only": 1.0})
+        assert all(p.isdigit() for p in gen.generate(200))

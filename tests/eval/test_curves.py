@@ -1,0 +1,56 @@
+"""Guess-number curve utilities."""
+
+import pytest
+
+from repro.core.guesser import BudgetRow, GuessingReport
+from repro.eval.curves import curve_dict, curves_to_csv, log_budgets, write_curves
+
+
+def make_report(method="m"):
+    return GuessingReport(
+        method=method,
+        test_size=100,
+        rows=[BudgetRow(100, 90, 1, 1.0), BudgetRow(1000, 800, 5, 5.0)],
+    )
+
+
+class TestLogBudgets:
+    def test_single_point_per_decade(self):
+        assert log_budgets(10000, points_per_decade=1) == [100, 1000, 10000]
+
+    def test_endpoint_always_included(self):
+        budgets = log_budgets(5000, points_per_decade=1)
+        assert budgets[-1] == 5000
+
+    def test_strictly_increasing(self):
+        budgets = log_budgets(100000, points_per_decade=4)
+        assert budgets == sorted(set(budgets))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_budgets(50)
+        with pytest.raises(ValueError):
+            log_budgets(1000, points_per_decade=0)
+
+
+class TestCSV:
+    def test_header_and_rows(self):
+        csv_text = curves_to_csv([make_report("a"), make_report("b")])
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "method,guesses,unique,matched,match_percent"
+        assert len(lines) == 5
+        assert lines[1].startswith("a,100,90,1")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            curves_to_csv([])
+
+    def test_write_creates_dirs(self, tmp_path):
+        path = write_curves([make_report()], tmp_path / "deep" / "curves.csv")
+        assert path.exists()
+        assert "matched" in path.read_text()
+
+
+class TestCurveDict:
+    def test_mapping(self):
+        assert curve_dict(make_report()) == {100: 1, 1000: 5}

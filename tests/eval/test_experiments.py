@@ -1,0 +1,109 @@
+"""Integration tests: every experiment driver runs at tiny scale and
+produces a structurally valid result."""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import fig2, fig3, fig4, fig5, table2, table3, table5, table6
+from repro.eval.experiments.common import METHODS, collect_reports
+from repro.eval.harness import PROFILES, EvalContext
+
+
+@pytest.fixture(scope="module")
+def ctx(tmp_path_factory):
+    return EvalContext(PROFILES["tiny"], cache_dir=tmp_path_factory.mktemp("cache"))
+
+
+class TestCommon:
+    def test_collect_reports_covers_methods(self, ctx):
+        reports = collect_reports(ctx)
+        assert set(reports) == set(METHODS)
+
+    def test_collect_reports_memoized(self, ctx):
+        assert collect_reports(ctx) is collect_reports(ctx)
+
+    def test_reports_share_budgets(self, ctx):
+        reports = collect_reports(ctx)
+        budgets = ctx.settings.guess_budgets
+        for report in reports.values():
+            assert [r.guesses for r in report.rows] == budgets
+
+
+class TestTable2:
+    def test_rows_per_method(self, ctx):
+        result = table2.run(ctx)
+        assert len(result.rows) == len(METHODS)
+        assert all(len(row) == len(ctx.settings.guess_budgets) + 1 for row in result.rows)
+
+    def test_percentages_bounded(self, ctx):
+        result = table2.run(ctx)
+        for row in result.rows:
+            assert all(0.0 <= v <= 100.0 for v in row[1:])
+
+    def test_notes_include_table4_samples(self, ctx):
+        result = table2.run(ctx)
+        assert isinstance(result.notes["non_matched_samples"], list)
+
+
+class TestTable3:
+    def test_unique_bounded_by_guesses(self, ctx):
+        result = table3.run(ctx)
+        for row in result.rows:
+            guesses = row[0]
+            uniques = row[1::2]
+            assert all(u <= guesses for u in uniques)
+
+    def test_matched_bounded_by_test_size(self, ctx):
+        result = table3.run(ctx)
+        test_size = result.notes["test_size"]
+        for row in result.rows:
+            assert all(m <= test_size for m in row[2::2])
+
+
+class TestTable5:
+    def test_columns_per_sigma(self, ctx):
+        result = table5.run(ctx)
+        assert len(result.headers) == len(table5.SIGMAS)
+        assert result.notes["pivot"] == table5.PIVOT
+
+    def test_edit_distances_reported(self, ctx):
+        result = table5.run(ctx)
+        assert set(result.notes["mean_edit_distance"]) == set(table5.SIGMAS)
+
+
+class TestTable6:
+    def test_all_strategies_reported(self, ctx):
+        result = table6.run(ctx)
+        assert len(result.headers) == 1 + len(table6.STRATEGIES)
+        assert len(result.rows) == len(ctx.settings.guess_budgets)
+
+
+class TestFig2:
+    def test_separation_metrics_present(self, ctx):
+        result = fig2.run(ctx, count_per_pivot=20, background=30)
+        assert result.notes["separation_latent"] > 0
+        assert np.isfinite(result.notes["separation_embedded"])
+        assert result.notes["embedding"].shape[1] == 2
+
+
+class TestFig3:
+    def test_path_structure(self, ctx):
+        result = fig3.run(ctx, steps=6)
+        assert len(result.rows) == 7
+        assert result.notes["endpoints_exact"] == (True, True)
+        assert 0.0 <= result.notes["plausibility"] <= 1.0
+
+
+class TestFig4:
+    def test_sweep_rows(self, ctx):
+        result = fig4.run(ctx)
+        assert len(result.rows) == len(ctx.settings.train_size_sweep)
+        assert result.rows[0][2] == 0.0  # baseline improvement is zero
+
+
+class TestFig5:
+    def test_both_arms_reported(self, ctx):
+        result = fig5.run(ctx)
+        assert len(result.rows) == len(ctx.settings.guess_budgets)
+        for row in result.rows:
+            assert row[1] >= 0 and row[2] >= 0

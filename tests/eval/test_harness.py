@@ -1,0 +1,87 @@
+"""Evaluation harness: profiles, caching, artifact consistency."""
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import PROFILES, BenchmarkSettings, EvalContext, settings_from_env
+
+
+@pytest.fixture
+def tiny_ctx(tmp_path):
+    return EvalContext(PROFILES["tiny"], cache_dir=tmp_path)
+
+
+class TestProfiles:
+    def test_all_profiles_present(self):
+        assert {"tiny", "quick", "full"} <= set(PROFILES)
+
+    def test_profiles_scale_monotonically(self):
+        assert (
+            PROFILES["tiny"].corpus_size
+            < PROFILES["quick"].corpus_size
+            < PROFILES["full"].corpus_size
+        )
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "tiny")
+        assert settings_from_env().name == "tiny"
+
+    def test_env_unknown_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "galactic")
+        with pytest.raises(KeyError):
+            settings_from_env()
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_PROFILE", raising=False)
+        assert settings_from_env("tiny").name == "tiny"
+
+
+class TestContext:
+    def test_corpus_deterministic(self, tmp_path):
+        a = EvalContext(PROFILES["tiny"], cache_dir=tmp_path / "a").corpus
+        b = EvalContext(PROFILES["tiny"], cache_dir=tmp_path / "b").corpus
+        assert a == b
+
+    def test_corpus_size(self, tiny_ctx):
+        assert len(tiny_ctx.corpus) == PROFILES["tiny"].corpus_size
+
+    def test_dataset_test_cleaned_against_train(self, tiny_ctx):
+        train = set(tiny_ctx.corpus[: PROFILES["tiny"].train_size])
+        assert not (tiny_ctx.test_set & train)
+
+    def test_passflow_cached_to_disk_and_reloaded(self, tmp_path):
+        ctx_a = EvalContext(PROFILES["tiny"], cache_dir=tmp_path)
+        model_a = ctx_a.passflow()
+        assert (tmp_path / "tiny-passflow-char-run-1.npz").exists()
+        ctx_b = EvalContext(PROFILES["tiny"], cache_dir=tmp_path)
+        model_b = ctx_b.passflow()
+        passwords = ["love12"]
+        assert np.allclose(
+            model_a.encode_passwords(passwords), model_b.encode_passwords(passwords)
+        )
+
+    def test_passflow_memoized_in_context(self, tiny_ctx):
+        assert tiny_ctx.passflow() is tiny_ctx.passflow()
+
+    def test_mask_variants_distinct(self, tiny_ctx):
+        default = tiny_ctx.passflow()
+        horizontal = tiny_ctx.passflow("horizontal")
+        assert default is not horizontal
+        assert default.config.mask_strategy != horizontal.config.mask_strategy
+
+    def test_train_size_sweep_model(self, tiny_ctx):
+        model = tiny_ctx.passflow_for_train_size(300)
+        assert model.history.nll  # trained
+
+    def test_train_size_exceeds_corpus_raises(self, tiny_ctx):
+        with pytest.raises(ValueError):
+            tiny_ctx.passflow_for_train_size(10**9)
+
+    def test_markov_and_pcfg_available(self, tiny_ctx):
+        assert tiny_ctx.markov().sample_passwords(3, np.random.default_rng(0))
+        assert tiny_ctx.pcfg().sample_passwords(3, np.random.default_rng(0))
+
+    def test_attack_rng_is_stable_per_label(self, tiny_ctx):
+        a = tiny_ctx.attack_rng("x").normal()
+        b = tiny_ctx.attack_rng("x").normal()
+        assert a == b

@@ -1,0 +1,83 @@
+"""Evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    cluster_separation,
+    guess_overlap,
+    is_plausible,
+    match_rate,
+    plausibility_rate,
+    uniqueness_rate,
+)
+
+
+class TestRates:
+    def test_match_rate(self):
+        assert match_rate(5, 100) == 5.0
+
+    def test_match_rate_validation(self):
+        with pytest.raises(ValueError):
+            match_rate(1, 0)
+        with pytest.raises(ValueError):
+            match_rate(-1, 10)
+
+    def test_uniqueness_rate(self):
+        assert uniqueness_rate(80, 100) == 0.8
+
+    def test_uniqueness_validation(self):
+        with pytest.raises(ValueError):
+            uniqueness_rate(1, 0)
+
+
+class TestPlausibility:
+    @pytest.mark.parametrize(
+        "password",
+        ["love", "love12", "Maria99", "123456", "l0v3r5", "star77!"],
+    )
+    def test_human_like_accepted(self, password):
+        assert is_plausible(password)
+
+    @pytest.mark.parametrize("password", ["x", "@@##!!", "A1!B2@C3#X", ""])
+    def test_noise_rejected(self, password):
+        assert not is_plausible(password)
+
+    def test_rate(self):
+        assert plausibility_rate(["love12", "@@@@@@"]) == 0.5
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            plausibility_rate([])
+
+
+class TestClusterSeparation:
+    def test_separated_clusters_high_ratio(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(30, 3))
+        b = rng.normal(size=(30, 3)) + 50.0
+        points = np.vstack([a, b])
+        labels = np.array([0] * 30 + [1] * 30)
+        assert cluster_separation(points, labels) > 10
+
+    def test_mixed_clusters_low_ratio(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(60, 3))
+        labels = np.array([0] * 30 + [1] * 30)
+        assert cluster_separation(points, labels) < 2
+
+    def test_needs_two_clusters(self):
+        with pytest.raises(ValueError):
+            cluster_separation(np.zeros((5, 2)), np.zeros(5))
+
+
+class TestOverlap:
+    def test_jaccard(self):
+        assert guess_overlap(["a", "b"], ["b", "c"]) == pytest.approx(1 / 3)
+
+    def test_disjoint(self):
+        assert guess_overlap(["a"], ["b"]) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            guess_overlap([], [])

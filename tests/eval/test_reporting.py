@@ -1,0 +1,48 @@
+"""Table rendering."""
+
+import pytest
+
+from repro.eval.reporting import ExperimentResult, format_markdown, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["A", "Long header"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[:2])
+
+    def test_float_formatting(self):
+        assert "3.14" in format_table(["x"], [[3.14159]])
+
+    def test_thousands_separator(self):
+        assert "10,000" in format_table(["x"], [[10000]])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+
+class TestMarkdown:
+    def test_structure(self):
+        md = format_markdown(["a", "b"], [[1, 2]])
+        lines = md.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult("Demo", ["x", "y"], [[1, 2.5]], notes={"k": "v"})
+
+    def test_table_and_markdown(self):
+        result = self._result()
+        assert "Demo" not in result.table()  # name only in __str__
+        assert "| x | y |" in result.markdown()
+
+    def test_str_includes_name(self):
+        assert "Demo" in str(self._result())
+
+    def test_notes_accessible(self):
+        assert self._result().notes["k"] == "v"

@@ -1,0 +1,65 @@
+"""Multi-seed aggregation statistics."""
+
+import pytest
+
+from repro.core.guesser import BudgetRow, GuessingReport
+from repro.eval.stats import aggregate_matched, aggregate_unique, run_seeds
+
+
+def report(matched, unique=100):
+    return GuessingReport(
+        method="m", test_size=1000,
+        rows=[BudgetRow(100, unique, matched, matched / 10.0)],
+    )
+
+
+class TestAggregate:
+    def test_mean_and_std(self):
+        stats = aggregate_matched([report(2), report(4), report(6)])
+        assert stats.mean_at(100) == 4.0
+        assert stats.std[100] == 2.0
+        assert stats.minimum[100] == 2.0 and stats.maximum[100] == 6.0
+        assert stats.runs == 3
+
+    def test_single_run_zero_std(self):
+        stats = aggregate_matched([report(5)])
+        assert stats.std[100] == 0.0
+        low, high = stats.interval_at(100)
+        assert low == high == 5.0
+
+    def test_interval_contains_mean(self):
+        stats = aggregate_matched([report(2), report(8)])
+        low, high = stats.interval_at(100)
+        assert low <= stats.mean_at(100) <= high
+
+    def test_unique_aggregation(self):
+        stats = aggregate_unique([report(0, unique=50), report(0, unique=70)])
+        assert stats.mean_at(100) == 60.0
+
+    def test_mismatched_budgets_raise(self):
+        other = GuessingReport(
+            method="m", test_size=1000, rows=[BudgetRow(999, 1, 1, 0.1)]
+        )
+        with pytest.raises(ValueError):
+            aggregate_matched([report(1), other])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_matched([])
+
+
+class TestRunSeeds:
+    def test_factory_invoked_per_seed(self):
+        seen = []
+
+        def factory(seed):
+            seen.append(seed)
+            return report(seed)
+
+        reports = run_seeds(factory, 4)
+        assert seen == [0, 1, 2, 3]
+        assert len(reports) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_seeds(lambda seed: report(0), 0)

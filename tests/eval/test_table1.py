@@ -1,0 +1,31 @@
+"""Table I driver."""
+
+import pytest
+
+from repro.core.dynamic import PAPER_SCHEDULE
+from repro.eval.experiments import table1
+from repro.eval.harness import PROFILES, EvalContext
+
+
+@pytest.fixture(scope="module")
+def ctx(tmp_path_factory):
+    return EvalContext(PROFILES["tiny"], cache_dir=tmp_path_factory.mktemp("cache"))
+
+
+class TestTable1:
+    def test_covers_full_paper_schedule(self, ctx):
+        result = table1.run(ctx)
+        # one row per paper budget + one for the active profile
+        assert len(result.rows) == len(PAPER_SCHEDULE) + 1
+
+    def test_paper_values_rendered(self, ctx):
+        result = table1.run(ctx)
+        alphas = [row[1] for row in result.rows[:-1]]
+        assert alphas == [1, 1, 5, 50, 50]
+        sigmas = [row[2] for row in result.rows[:-1]]
+        assert sigmas == [0.12, 0.12, 0.12, 0.12, 0.15]
+
+    def test_profile_row_present(self, ctx):
+        result = table1.run(ctx)
+        assert "this profile" in result.rows[-1][0]
+        assert result.notes["profile"] == "tiny"

@@ -1,0 +1,48 @@
+"""Table IV driver and the run-all orchestrator."""
+
+import pytest
+
+from repro.eval.experiments import table4
+from repro.eval.harness import PROFILES, EvalContext
+from repro.eval.run_all import DRIVERS, render_markdown, run_all
+
+
+@pytest.fixture(scope="module")
+def ctx(tmp_path_factory):
+    return EvalContext(PROFILES["tiny"], cache_dir=tmp_path_factory.mktemp("cache"))
+
+
+class TestTable4:
+    def test_structure(self, ctx):
+        result = table4.run(ctx, sample_count=500)
+        assert len(result.headers) == 4
+        assert 0.0 <= result.notes["plausibility_rate"] <= 1.0
+        assert 0.0 <= result.notes["structure_tv"] <= 1.0
+
+    def test_footprint_keys(self, ctx):
+        result = table4.run(ctx, sample_count=500)
+        assert result.notes["top_generated_structures"]
+        assert result.notes["top_corpus_structures"]
+
+    def test_samples_are_non_matched(self, ctx):
+        result = table4.run(ctx, sample_count=500)
+        flat = [cell for row in result.rows for cell in row if cell]
+        assert all(password not in ctx.test_set for password in flat)
+
+
+class TestRunAll:
+    def test_driver_registry_covers_all_artifacts(self):
+        names = {driver.__name__.rsplit(".", 1)[-1] for driver in DRIVERS}
+        assert names == {
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "fig2", "fig3", "fig4", "fig5",
+        }
+
+    def test_run_all_and_markdown(self, ctx):
+        results = run_all(ctx)
+        assert len(results) == len(DRIVERS)
+        assert all("elapsed_seconds" in r.notes for r in results)
+        markdown = render_markdown(ctx, results)
+        assert "# Experiment results (profile: tiny)" in markdown
+        for result in results:
+            assert result.name in markdown

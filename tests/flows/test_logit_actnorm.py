@@ -1,0 +1,94 @@
+"""Logit and ActNorm bijectors."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.autograd.grad_check import check_gradients
+from repro.flows.actnorm import ActNorm
+from repro.flows.logit import LogitTransform
+
+
+class TestLogit:
+    def test_invalid_alpha_raises(self):
+        with pytest.raises(ValueError):
+            LogitTransform(alpha=0.5)
+
+    def test_roundtrip(self):
+        logit = LogitTransform(alpha=0.05)
+        x = np.random.rand(4, 6)
+        with no_grad():
+            y, _ = logit(Tensor(x))
+            back = logit.inverse(y)
+        assert np.allclose(back.data, x, atol=1e-12)
+
+    def test_maps_unit_cube_to_reals(self):
+        logit = LogitTransform(alpha=0.05)
+        y, _ = logit(Tensor(np.array([[0.001, 0.999]])))
+        assert y.data[0, 0] < -2 and y.data[0, 1] > 2
+
+    def test_log_det_matches_numeric(self):
+        logit = LogitTransform(alpha=0.05)
+        x = np.random.rand(1, 3)
+        eps = 1e-7
+        jac_diag = []
+        for j in range(3):
+            dx = np.zeros(3)
+            dx[j] = eps
+            with no_grad():
+                plus, _ = logit(Tensor((x.ravel() + dx).reshape(1, 3)))
+                minus, _ = logit(Tensor((x.ravel() - dx).reshape(1, 3)))
+            jac_diag.append((plus.data.ravel()[j] - minus.data.ravel()[j]) / (2 * eps))
+        _, log_det = logit(Tensor(x))
+        assert abs(log_det.data[0] - np.sum(np.log(jac_diag))) < 1e-5
+
+    def test_gradcheck(self):
+        logit = LogitTransform(alpha=0.05)
+
+        def f(t):
+            y, log_det = logit(t)
+            return y.sum() + log_det.sum()
+
+        check_gradients(f, [np.random.rand(3, 4) * 0.8 + 0.1], atol=1e-4)
+
+
+class TestActNorm:
+    def test_data_dependent_init_standardizes(self):
+        actnorm = ActNorm(4)
+        x = np.random.randn(256, 4) * 3 + 5
+        z, _ = actnorm(Tensor(x))
+        assert np.allclose(z.data.mean(axis=0), 0.0, atol=1e-6)
+        assert np.allclose(z.data.std(axis=0), 1.0, atol=1e-3)
+
+    def test_init_happens_once(self):
+        actnorm = ActNorm(2)
+        first = np.random.randn(64, 2) * 2 + 1
+        actnorm(Tensor(first))
+        bias_after_first = actnorm.bias.data.copy()
+        actnorm(Tensor(np.random.randn(64, 2) * 9 - 4))
+        assert np.allclose(actnorm.bias.data, bias_after_first)
+
+    def test_no_init_in_eval_mode(self):
+        actnorm = ActNorm(2)
+        actnorm.eval()
+        actnorm(Tensor(np.random.randn(8, 2) + 100))
+        assert np.allclose(actnorm.bias.data, 0.0)
+
+    def test_roundtrip(self):
+        actnorm = ActNorm(3)
+        x = np.random.randn(16, 3) * 2 + 1
+        with no_grad():
+            actnorm.initialize_from(x)
+            z, _ = actnorm(Tensor(x))
+            assert np.allclose(actnorm.inverse(z).data, x, atol=1e-10)
+
+    def test_log_det_value(self):
+        actnorm = ActNorm(3)
+        actnorm.eval()  # suppress data-dependent re-initialization
+        actnorm.log_scale.data[:] = np.array([0.1, -0.2, 0.3])
+        _, log_det = actnorm(Tensor(np.random.randn(5, 3)))
+        assert np.allclose(log_det.data, 0.2)
+
+    def test_invalid_dim_raises(self):
+        with pytest.raises(ValueError):
+            ActNorm(0)

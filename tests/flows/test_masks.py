@@ -1,0 +1,65 @@
+"""Masking strategies (Sec. III-A.1, V-C)."""
+
+import numpy as np
+import pytest
+
+from repro.flows.masks import alternating_masks, char_run_mask, horizontal_mask, make_mask
+
+
+class TestHorizontal:
+    def test_splits_in_half(self):
+        assert np.allclose(horizontal_mask(6), [0, 0, 0, 1, 1, 1])
+
+    def test_odd_dim(self):
+        mask = horizontal_mask(5)
+        assert mask.sum() == 3  # ceil half ones
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            horizontal_mask(1)
+
+
+class TestCharRun:
+    def test_run_one_alternates(self):
+        assert np.allclose(char_run_mask(6, 1), [0, 1, 0, 1, 0, 1])
+
+    def test_run_two_pairs(self):
+        assert np.allclose(char_run_mask(8, 2), [0, 0, 1, 1, 0, 0, 1, 1])
+
+    def test_run_longer_than_dim(self):
+        assert np.allclose(char_run_mask(4, 10), [0, 0, 0, 0])
+
+    def test_invalid_run_raises(self):
+        with pytest.raises(ValueError):
+            char_run_mask(4, 0)
+
+
+class TestMakeMask:
+    def test_by_name(self):
+        assert np.allclose(make_mask("horizontal", 4), horizontal_mask(4))
+        assert np.allclose(make_mask("char-run-2", 8), char_run_mask(8, 2))
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_mask("diagonal", 4)
+
+    def test_bad_run_spec_raises(self):
+        with pytest.raises(ValueError):
+            make_mask("char-run-x", 4)
+
+
+class TestAlternating:
+    def test_alternates_b_and_complement(self):
+        masks = alternating_masks("char-run-1", 6, 4)
+        assert np.allclose(masks[0], 1.0 - masks[1])
+        assert np.allclose(masks[0], masks[2])
+
+    def test_every_coordinate_transformed_somewhere(self):
+        # with alternation no coordinate is passthrough in every layer
+        masks = alternating_masks("horizontal", 10, 2)
+        passthrough_everywhere = np.logical_and.reduce([m == 1.0 for m in masks])
+        assert not passthrough_everywhere.any()
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            alternating_masks("horizontal", 4, 0)

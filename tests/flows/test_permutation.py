@@ -1,0 +1,64 @@
+"""Permutation bijector."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.flows.permutation import Permutation
+
+
+class TestConstruction:
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            Permutation(np.array([0, 0, 1]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Permutation(np.zeros((2, 2), dtype=int))
+
+    def test_random_factory(self):
+        perm = Permutation.random(6, np.random.default_rng(0))
+        assert perm.dim == 6
+
+    def test_reverse_factory(self):
+        perm = Permutation.reverse(4)
+        x = Tensor(np.arange(8.0).reshape(2, 4))
+        z, _ = perm(x)
+        assert np.allclose(z.data[0], [3, 2, 1, 0])
+
+
+class TestBijection:
+    def test_roundtrip(self):
+        perm = Permutation.random(8, np.random.default_rng(1))
+        x = np.random.randn(5, 8)
+        z, _ = perm(Tensor(x))
+        back = perm.inverse(z)
+        assert np.allclose(back.data, x)
+
+    def test_volume_preserving(self):
+        perm = Permutation.random(5, np.random.default_rng(2))
+        _, log_det = perm(Tensor(np.random.randn(3, 5)))
+        assert np.allclose(log_det.data, 0.0)
+
+    def test_in_flow_composition(self):
+        from repro.flows import AffineCoupling, Flow, StandardNormalPrior
+        from repro.flows.masks import char_run_mask
+
+        rng = np.random.default_rng(3)
+        flow = Flow(
+            [
+                AffineCoupling(char_run_mask(6, 1), hidden=8, num_blocks=1, rng=rng),
+                Permutation.random(6, rng),
+                AffineCoupling(char_run_mask(6, 1), hidden=8, num_blocks=1, rng=rng),
+            ],
+            prior=StandardNormalPrior(6),
+        )
+        x = np.random.randn(4, 6)
+        assert np.allclose(flow.decode(flow.encode(x)), x, atol=1e-9)
+
+    def test_gradient_passthrough(self):
+        perm = Permutation.random(4, np.random.default_rng(4))
+        x = Tensor(np.random.randn(2, 4), requires_grad=True)
+        z, _ = perm(x)
+        (z * 2.0).sum().backward()
+        assert np.allclose(x.grad, 2.0)

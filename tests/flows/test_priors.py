@@ -1,0 +1,93 @@
+"""Latent priors: standard normal and the Eq. 14 mixture."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.autograd import Tensor
+from repro.flows.priors import GaussianMixturePrior, StandardNormalPrior
+
+
+class TestStandardNormal:
+    def test_log_prob_matches_scipy(self):
+        prior = StandardNormalPrior(4)
+        z = np.random.randn(10, 4)
+        expected = stats.multivariate_normal(np.zeros(4), np.eye(4)).logpdf(z)
+        assert np.allclose(prior.log_prob(z), expected)
+
+    def test_log_prob_with_sigma(self):
+        prior = StandardNormalPrior(3, sigma=0.5)
+        z = np.random.randn(5, 3)
+        expected = stats.multivariate_normal(np.zeros(3), 0.25 * np.eye(3)).logpdf(z)
+        assert np.allclose(prior.log_prob(z), expected)
+
+    def test_tensor_and_numpy_agree(self):
+        prior = StandardNormalPrior(4, sigma=0.8)
+        z = np.random.randn(6, 4)
+        assert np.allclose(prior.log_prob_tensor(Tensor(z)).data, prior.log_prob(z))
+
+    def test_sample_moments(self):
+        prior = StandardNormalPrior(2, sigma=2.0)
+        samples = prior.sample(20000, np.random.default_rng(0))
+        assert abs(samples.mean()) < 0.05
+        assert abs(samples.std() - 2.0) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StandardNormalPrior(0)
+        with pytest.raises(ValueError):
+            StandardNormalPrior(3, sigma=0.0)
+
+
+class TestGaussianMixture:
+    def _scipy_log_prob(self, z, means, sigmas, weights):
+        weights = np.asarray(weights, dtype=float)
+        weights = weights / weights.sum()
+        parts = [
+            np.log(w) + stats.multivariate_normal(m, s**2 * np.eye(len(m))).logpdf(z)
+            for m, s, w in zip(means, sigmas, weights)
+            if w > 0
+        ]
+        return np.logaddexp.reduce(np.stack(parts, axis=0), axis=0)
+
+    def test_log_prob_matches_scipy(self):
+        means = np.array([[0.0, 0.0], [3.0, 3.0]])
+        prior = GaussianMixturePrior(means, sigmas=[1.0, 0.5], weights=[1.0, 2.0])
+        z = np.random.randn(8, 2)
+        expected = self._scipy_log_prob(z, means, [1.0, 0.5], [1.0, 2.0])
+        assert np.allclose(prior.log_prob(z), expected)
+
+    def test_tensor_and_numpy_agree(self):
+        means = np.random.randn(3, 4)
+        prior = GaussianMixturePrior(means, sigmas=0.3)
+        z = np.random.randn(5, 4)
+        assert np.allclose(prior.log_prob_tensor(Tensor(z)).data, prior.log_prob(z))
+
+    def test_zero_weight_component_ignored(self):
+        means = np.array([[0.0], [100.0]])
+        prior = GaussianMixturePrior(means, sigmas=1.0, weights=[1.0, 0.0])
+        samples = prior.sample(500, np.random.default_rng(0))
+        assert np.all(np.abs(samples) < 10)
+
+    def test_samples_cluster_around_means(self):
+        means = np.array([[-5.0, -5.0], [5.0, 5.0]])
+        prior = GaussianMixturePrior(means, sigmas=0.1)
+        samples = prior.sample(400, np.random.default_rng(1))
+        near_a = np.linalg.norm(samples - means[0], axis=1) < 1.0
+        near_b = np.linalg.norm(samples - means[1], axis=1) < 1.0
+        assert np.all(near_a | near_b)
+        assert near_a.sum() > 100 and near_b.sum() > 100
+
+    def test_scalar_sigma_broadcasts(self):
+        prior = GaussianMixturePrior(np.zeros((3, 2)), sigmas=0.5)
+        assert prior.sigmas.shape == (3,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianMixturePrior(np.zeros((2, 2)), sigmas=0.0)
+        with pytest.raises(ValueError):
+            GaussianMixturePrior(np.zeros((2, 2)), sigmas=1.0, weights=[1.0])
+        with pytest.raises(ValueError):
+            GaussianMixturePrior(np.zeros((2, 2)), sigmas=1.0, weights=[-1.0, 1.0])
+        with pytest.raises(ValueError):
+            GaussianMixturePrior(np.zeros((2, 2)), sigmas=1.0, weights=[0.0, 0.0])

@@ -1,0 +1,161 @@
+"""Layer semantics and gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.grad_check import check_gradients
+from repro.nn import (
+    BatchNorm1d,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    ResidualBlock,
+    ResidualMLP,
+    Sigmoid,
+    Softplus,
+    Tanh,
+)
+from repro.nn import init as init_schemes
+from repro.nn.losses import binary_cross_entropy_with_logits, mse_loss
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        assert layer(Tensor(np.random.randn(5, 4))).shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        assert layer.num_parameters() == 12
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_gradients(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(1))
+        x = np.random.randn(4, 3)
+        out = layer(Tensor(x))
+        out.sum().backward()
+        assert layer.weight.grad.shape == (3, 2)
+        assert np.allclose(layer.bias.grad, 4.0)  # d(sum)/db = batch size
+
+    def test_deterministic_with_rng(self):
+        a = Linear(3, 3, rng=np.random.default_rng(5))
+        b = Linear(3, 3, rng=np.random.default_rng(5))
+        assert np.allclose(a.weight.data, b.weight.data)
+
+
+class TestInit:
+    def test_xavier_bound(self):
+        w = init_schemes.xavier_uniform(np.random.default_rng(0), 10, 10)
+        assert np.max(np.abs(w)) <= np.sqrt(6 / 20)
+
+    def test_zeros(self):
+        assert np.all(init_schemes.zeros(np.random.default_rng(0), 3, 4) == 0)
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            init_schemes.get("nope")
+
+
+class TestActivations:
+    def test_leaky_relu_negative_slope(self):
+        act = LeakyReLU(0.1)
+        out = act(Tensor([-2.0, 3.0]))
+        assert np.allclose(out.data, [-0.2, 3.0])
+
+    def test_tanh_sigmoid_softplus_ranges(self):
+        x = Tensor(np.random.randn(10))
+        assert np.all(np.abs(Tanh()(x).data) < 1)
+        assert np.all((Sigmoid()(x).data > 0) & (Sigmoid()(x).data < 1))
+        assert np.all(Softplus()(x).data > 0)
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self):
+        bn = BatchNorm1d(3)
+        x = np.random.randn(64, 3) * 5 + 2
+        out = bn(Tensor(x))
+        assert np.allclose(out.data.mean(axis=0), 0.0, atol=1e-7)
+        assert np.allclose(out.data.std(axis=0), 1.0, atol=1e-2)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm1d(2, momentum=1.0)  # running stats = last batch
+        x = np.random.randn(32, 2) * 3 + 1
+        bn(Tensor(x))
+        bn.eval()
+        single = bn(Tensor(x[:1]))
+        expected = (x[:1] - x.mean(axis=0)) / np.sqrt(x.var(axis=0) + bn.eps)
+        assert np.allclose(single.data, expected, atol=1e-6)
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(3)(Tensor(np.zeros((2, 4))))
+
+    def test_gradients(self):
+        bn = BatchNorm1d(3)
+        check_gradients(lambda a: bn(a), [np.random.randn(8, 3)], atol=1e-4)
+
+
+class TestLayerNorm:
+    def test_normalizes_rows(self):
+        ln = LayerNorm(4)
+        out = ln(Tensor(np.random.randn(5, 4) * 3 + 7))
+        assert np.allclose(out.data.mean(axis=1), 0.0, atol=1e-7)
+
+    def test_wrong_trailing_dim_raises(self):
+        with pytest.raises(ValueError):
+            LayerNorm(4)(Tensor(np.zeros((2, 3))))
+
+    def test_gradients(self):
+        ln = LayerNorm(3)
+        check_gradients(lambda a: ln(a), [np.random.randn(4, 3)], atol=1e-4)
+
+
+class TestResidual:
+    def test_block_preserves_shape(self):
+        block = ResidualBlock(8, rng=np.random.default_rng(0))
+        assert block(Tensor(np.random.randn(3, 8))).shape == (3, 8)
+
+    def test_mlp_identity_at_init(self):
+        # zero-initialized output head -> ResidualMLP(x) == 0 at init
+        mlp = ResidualMLP(4, 16, 4, rng=np.random.default_rng(0))
+        out = mlp(Tensor(np.random.randn(5, 4)))
+        assert np.allclose(out.data, 0.0)
+
+    def test_mlp_gradients(self):
+        mlp = ResidualMLP(3, 8, 2, num_blocks=1, rng=np.random.default_rng(2))
+        # perturb output head so gradients are non-trivial
+        mlp.output.weight.data[:] = np.random.default_rng(3).normal(size=(8, 2)) * 0.1
+        check_gradients(lambda a: mlp(a), [np.random.randn(4, 3)], atol=1e-4)
+
+    def test_mlp_requires_block(self):
+        with pytest.raises(ValueError):
+            ResidualMLP(3, 8, 2, num_blocks=0)
+
+
+class TestLosses:
+    def test_mse_zero_for_equal(self):
+        x = Tensor(np.random.randn(4))
+        assert mse_loss(x, Tensor(x.data.copy())).item() == 0.0
+
+    def test_mse_gradcheck(self):
+        target = np.random.randn(5)
+        check_gradients(lambda a: mse_loss(a, Tensor(target)), [np.random.randn(5)])
+
+    def test_bce_matches_reference(self):
+        logits = np.array([-2.0, 0.0, 3.0])
+        target = np.array([0.0, 1.0, 1.0])
+        p = 1 / (1 + np.exp(-logits))
+        expected = -np.mean(target * np.log(p) + (1 - target) * np.log(1 - p))
+        got = binary_cross_entropy_with_logits(Tensor(logits), Tensor(target)).item()
+        assert abs(got - expected) < 1e-9
+
+    def test_bce_extreme_logits_stable(self):
+        out = binary_cross_entropy_with_logits(
+            Tensor([1000.0, -1000.0]), Tensor([1.0, 0.0])
+        )
+        assert np.isfinite(out.item()) and out.item() < 1e-6

@@ -1,0 +1,114 @@
+"""Module registration, traversal, modes and checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Linear, Module, Parameter, ReLU, Sequential
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc = Linear(3, 2, rng=np.random.default_rng(0))
+        self.scale = Parameter(np.ones(2))
+        self.register_buffer("counter", np.zeros(1))
+
+    def forward(self, x):
+        return self.fc(x) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_include_submodules(self):
+        names = dict(Toy().named_parameters())
+        assert set(names) == {"fc.weight", "fc.bias", "scale"}
+
+    def test_buffers_registered(self):
+        names = dict(Toy().named_buffers())
+        assert "counter" in names
+
+    def test_num_parameters(self):
+        toy = Toy()
+        assert toy.num_parameters() == 3 * 2 + 2 + 2
+
+    def test_modules_iterates_tree(self):
+        toy = Toy()
+        assert sum(1 for _ in toy.modules()) == 2
+
+    def test_add_module_explicit(self):
+        toy = Toy()
+        toy.add_module("extra", Linear(2, 2, rng=np.random.default_rng(1)))
+        assert "extra.weight" in dict(toy.named_parameters())
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        toy = Toy()
+        toy.eval()
+        assert not toy.training and not toy.fc.training
+        toy.train()
+        assert toy.training and toy.fc.training
+
+    def test_zero_grad_clears_all(self):
+        toy = Toy()
+        out = toy(Tensor(np.ones((2, 3))))
+        out.sum().backward()
+        assert toy.scale.grad is not None
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        toy_a, toy_b = Toy(), Toy()
+        toy_a.scale.data[:] = 7.0
+        toy_b.load_state_dict(toy_a.state_dict())
+        assert np.allclose(toy_b.scale.data, 7.0)
+        assert np.allclose(toy_b.fc.weight.data, toy_a.fc.weight.data)
+
+    def test_state_dict_copies(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["scale"][:] = 99.0
+        assert not np.allclose(toy.scale.data, 99.0)
+
+    def test_missing_key_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_extra_key_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            toy.load_state_dict(state)
+
+    def test_buffer_roundtrip(self):
+        toy_a, toy_b = Toy(), Toy()
+        toy_a.counter[:] = 5.0
+        toy_b.load_state_dict(toy_a.state_dict())
+        assert np.allclose(toy_b.counter, 5.0)
+
+
+class TestSequential:
+    def test_forward_chains(self):
+        seq = Sequential(Linear(3, 4, rng=np.random.default_rng(0)), ReLU())
+        out = seq(Tensor(np.random.randn(2, 3)))
+        assert out.shape == (2, 4)
+        assert np.all(out.data >= 0)
+
+    def test_len_iter_getitem(self):
+        seq = Sequential(ReLU(), ReLU())
+        assert len(seq) == 2
+        assert isinstance(seq[0], ReLU)
+        assert len(list(seq)) == 2

@@ -1,0 +1,124 @@
+"""Optimizer and scheduler behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam, CosineDecay, StepDecay
+
+
+def quadratic_loss(param: Parameter) -> Tensor:
+    # f(w) = sum((w - 3)^2), minimized at w = 3
+    diff = param - Tensor(np.full_like(param.data, 3.0))
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_single_step_direction(self):
+        w = Parameter(np.zeros(2))
+        opt = SGD([w], lr=0.1)
+        quadratic_loss(w).backward()
+        opt.step()
+        assert np.all(w.data > 0)  # moved toward 3
+
+    def test_momentum_accelerates(self):
+        w_plain = Parameter(np.zeros(1))
+        w_momentum = Parameter(np.zeros(1))
+        opt_plain = SGD([w_plain], lr=0.01)
+        opt_momentum = SGD([w_momentum], lr=0.01, momentum=0.9)
+        for _ in range(10):
+            for w, opt in ((w_plain, opt_plain), (w_momentum, opt_momentum)):
+                opt.zero_grad()
+                quadratic_loss(w).backward()
+                opt.step()
+        assert w_momentum.data[0] > w_plain.data[0]
+
+    def test_invalid_momentum_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        w = Parameter(np.zeros(3))
+        opt = Adam([w], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(w).backward()
+            opt.step()
+        assert np.allclose(w.data, 3.0, atol=1e-2)
+
+    def test_bias_correction_first_step(self):
+        # with Adam, first-step update magnitude ~ lr regardless of grad scale
+        w = Parameter(np.zeros(1))
+        opt = Adam([w], lr=0.5)
+        (w * 1000.0).sum().backward()
+        opt.step()
+        assert abs(w.data[0] + 0.5) < 1e-6
+
+    def test_weight_decay_shrinks(self):
+        w = Parameter(np.ones(1) * 10.0)
+        opt = Adam([w], lr=0.1, weight_decay=1.0)
+        (w * 0.0).sum().backward()  # zero task gradient
+        w.grad = np.zeros(1)
+        opt.step()
+        assert w.data[0] < 10.0
+
+    def test_invalid_betas_raise(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.9))
+
+
+class TestOptimizerBase:
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_grad_clipping_bounds_norm(self):
+        w = Parameter(np.zeros(4))
+        opt = SGD([w], lr=1.0, clip_norm=1.0)
+        (w * 100.0).sum().backward()
+        opt._clip()
+        assert abs(opt.grad_global_norm() - 1.0) < 1e-9
+
+    def test_step_skips_gradless_params(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.ones(1))
+        opt = SGD([a, b], lr=0.5)
+        (a * 2.0).sum().backward()
+        opt.step()
+        assert np.allclose(b.data, 1.0)  # untouched
+
+
+class TestSchedulers:
+    def _optimizer(self):
+        return SGD([Parameter(np.zeros(1))], lr=1.0)
+
+    def test_step_decay(self):
+        opt = self._optimizer()
+        sched = StepDecay(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        assert np.allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_reaches_min(self):
+        opt = self._optimizer()
+        sched = CosineDecay(opt, total_epochs=10, min_lr=0.05)
+        for _ in range(10):
+            last = sched.step()
+        assert abs(last - 0.05) < 1e-9
+
+    def test_cosine_monotone_decreasing(self):
+        opt = self._optimizer()
+        sched = CosineDecay(opt, total_epochs=8)
+        lrs = [sched.step() for _ in range(8)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            StepDecay(self._optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            CosineDecay(self._optimizer(), total_epochs=0)

@@ -1,0 +1,105 @@
+"""CLI end-to-end tests (tiny workloads, real subprocess-free invocation)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def corpus_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "corpus.txt"
+    main(["synthesize", "--count", "2000", "--out", str(path), "--seed", "3"])
+    return path
+
+
+@pytest.fixture(scope="module")
+def model_file(tmp_path_factory, corpus_file):
+    path = tmp_path_factory.mktemp("cli") / "model.npz"
+    main(
+        [
+            "train",
+            "--corpus", str(corpus_file),
+            "--out", str(path),
+            "--train-size", "600",
+            "--couplings", "4",
+            "--hidden", "24",
+            "--epochs", "4",
+        ]
+    )
+    return path
+
+
+class TestSynthesize:
+    def test_writes_requested_count(self, corpus_file):
+        lines = corpus_file.read_text().strip().splitlines()
+        assert len(lines) == 2000
+        assert all(1 <= len(line) <= 10 for line in lines)
+
+
+class TestTrain:
+    def test_checkpoint_created_and_loadable(self, model_file):
+        from repro.core.model import PassFlow
+
+        model = PassFlow.load(model_file)
+        assert model.history.nll
+
+
+class TestSample:
+    def test_prints_passwords(self, model_file, capsys):
+        assert main(["sample", "--model", str(model_file), "--count", "7"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 7
+
+
+class TestAttack:
+    @pytest.mark.parametrize("strategy", ["static", "dynamic", "dynamic+gs"])
+    def test_strategies_run(self, model_file, corpus_file, capsys, strategy):
+        code = main(
+            [
+                "attack",
+                "--model", str(model_file),
+                "--corpus", str(corpus_file),
+                "--strategy", strategy,
+                "--budgets", "100,300",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "matched" in out and "300" in out
+
+
+class TestLatentCommands:
+    def test_interpolate(self, model_file, capsys):
+        assert main(["interpolate", "--model", str(model_file), "love12", "123456"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("love12") and out.strip().endswith("123456")
+
+    def test_conditional(self, model_file, capsys):
+        code = main(
+            ["conditional", "--model", str(model_file), "love**",
+             "--population", "32", "--rounds", "2", "--top-k", "4"]
+        )
+        assert code == 0
+        for line in capsys.readouterr().out.strip().splitlines():
+            assert line.startswith("love") and len(line) == 6
+
+    def test_strength(self, model_file, corpus_file, capsys):
+        code = main(
+            ["strength", "--model", str(model_file), "--corpus", str(corpus_file),
+             "love12", "zq8kfp"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "percentile" in out and "band" in out
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_alphabet_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["synthesize", "--count", "1", "--out", str(tmp_path / "x"),
+                  "--alphabet", "klingon"])

@@ -1,0 +1,48 @@
+"""Progress reporting and logging helpers."""
+
+import logging
+
+from repro.utils.logging import enable_console_logging, get_logger
+from repro.utils.progress import ProgressReporter
+
+
+class TestLogging:
+    def test_namespaced(self):
+        assert get_logger("core").name == "repro.core"
+        assert get_logger().name == "repro"
+
+    def test_null_handler_installed(self):
+        get_logger()
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+    def test_enable_console_idempotent(self):
+        enable_console_logging()
+        enable_console_logging()
+        root = logging.getLogger("repro")
+        streams = [h for h in root.handlers if isinstance(h, logging.StreamHandler)]
+        assert len(streams) == 1
+
+
+class TestProgress:
+    def test_rate_limited_emission(self):
+        messages = []
+        reporter = ProgressReporter(total=100, interval=9999, sink=messages.append)
+        for _ in range(50):
+            reporter.update()
+        assert messages == []  # interval never elapsed
+        reporter.close("done")
+        assert len(messages) == 1
+        assert "50" in messages[0] and "done" in messages[0]
+
+    def test_immediate_emission_with_zero_interval(self):
+        messages = []
+        reporter = ProgressReporter(interval=0.0, sink=messages.append, label="train")
+        reporter.update(3)
+        assert messages and "train" in messages[0]
+
+    def test_counts_accumulate(self):
+        reporter = ProgressReporter(interval=9999, sink=lambda m: None)
+        reporter.update(10)
+        reporter.update(5)
+        assert reporter.count == 15

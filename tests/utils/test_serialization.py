@@ -1,0 +1,41 @@
+"""Checkpoint IO."""
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import load_checkpoint, save_checkpoint
+
+
+class TestRoundtrip:
+    def test_state_and_metadata(self, tmp_path):
+        state = {"w": np.random.randn(3, 4), "b": np.zeros(4)}
+        metadata = {"epochs": 10, "name": "demo"}
+        path = save_checkpoint(tmp_path / "model.npz", state, metadata)
+        loaded_state, loaded_meta = load_checkpoint(path)
+        assert set(loaded_state) == {"w", "b"}
+        assert np.allclose(loaded_state["w"], state["w"])
+        assert loaded_meta == metadata
+
+    def test_no_metadata(self, tmp_path):
+        path = save_checkpoint(tmp_path / "m.npz", {"x": np.ones(2)})
+        _, metadata = load_checkpoint(path)
+        assert metadata == {}
+
+    def test_suffix_appended(self, tmp_path):
+        save_checkpoint(tmp_path / "model.ckpt", {"x": np.ones(1)})
+        state, _ = load_checkpoint(tmp_path / "model.ckpt")
+        assert "x" in state
+
+    def test_reserved_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_checkpoint(tmp_path / "m.npz", {"__metadata__": np.ones(1)})
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_checkpoint(tmp_path / "deep" / "dir" / "m.npz", {"x": np.ones(1)})
+        assert path.exists()
+
+    def test_nested_metadata(self, tmp_path):
+        metadata = {"config": {"lr": 0.1, "layers": [1, 2, 3]}}
+        path = save_checkpoint(tmp_path / "m.npz", {"x": np.ones(1)}, metadata)
+        _, loaded = load_checkpoint(path)
+        assert loaded["config"]["layers"] == [1, 2, 3]
