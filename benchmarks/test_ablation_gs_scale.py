@@ -6,10 +6,9 @@ matched neighbourhood.  The sweep exposes the trade-off the paper describes
 qualitatively.
 """
 
-from repro.core.dynamic import DynamicSampler
-from repro.core.smoothing import GaussianSmoother
-from repro.eval.experiments.common import dynamic_config
+from repro.eval.experiments.common import dynamic_spec
 from repro.eval.reporting import format_table
+from repro.strategies import AttackEngine, build
 
 from benchmarks.conftest import run_once, shape_assertions_enabled
 
@@ -18,22 +17,22 @@ GS_SCALES = (0.25, 0.75, 1.5, 3.0)
 
 def test_gs_scale_sweep(benchmark, ctx, model):
     budget = ctx.settings.guess_budgets[-1]
+    engine = AttackEngine(ctx.test_set, [budget])
 
     def run_all():
         results = {}
         for scale in GS_SCALES:
-            sampler = DynamicSampler(
-                model,
-                dynamic_config(ctx),
-                smoother=GaussianSmoother(model.encoder, sigma_scale=scale),
+            strategy = build(
+                f"{dynamic_spec(ctx, smoothed=True)}&gs_scale={scale}", model=model
             )
-            results[scale] = sampler.attack(
-                ctx.test_set, [budget], ctx.attack_rng(f"gs-{scale}"),
+            results[scale] = engine.run(
+                strategy, ctx.attack_rng(f"gs-{scale}"),
                 method=f"GS scale {scale}",
             ).final()
         # no-GS control
-        control = DynamicSampler(model, dynamic_config(ctx)).attack(
-            ctx.test_set, [budget], ctx.attack_rng("gs-none"), method="no GS"
+        control = engine.run(
+            build(dynamic_spec(ctx), model=model),
+            ctx.attack_rng("gs-none"), method="no GS",
         ).final()
         return results, control
 

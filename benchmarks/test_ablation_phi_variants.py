@@ -4,42 +4,34 @@ Compares the paper's step phi against linear and exponential decay and the
 no-penalization control under identical Dynamic Sampling budgets.
 """
 
-import pytest
-
-from repro.core.dynamic import DynamicSampler, DynamicSamplingConfig
-from repro.core.penalization import (
-    ExponentialDecayPenalization,
-    LinearDecayPenalization,
-    NoPenalization,
-    StepPenalization,
-)
 from repro.eval.reporting import format_table
+from repro.strategies import AttackEngine, build
 
 from benchmarks.conftest import run_once, shape_assertions_enabled
 
+# phi variants as spec fragments (gamma doubles as the linear horizon)
 PHI_VARIANTS = {
-    "step(gamma=2)": lambda: StepPenalization(2),
-    "linear(horizon=4)": lambda: LinearDecayPenalization(4),
-    "exponential(0.5)": lambda: ExponentialDecayPenalization(0.5),
-    "none (phi=1)": lambda: NoPenalization(),
+    "step(gamma=2)": "gamma=2&phi=step",
+    "linear(horizon=4)": "gamma=4&phi=linear",
+    "exponential(0.5)": "phi=exponential",
+    "none (phi=1)": "phi=none",
 }
 
 
 def test_phi_variants(benchmark, ctx, model):
     budgets = ctx.settings.guess_budgets
+    engine = AttackEngine(ctx.test_set, budgets)
 
     def run_all():
         results = {}
-        for name, make_phi in PHI_VARIANTS.items():
-            config = DynamicSamplingConfig(
-                alpha=ctx.DYNAMIC_ALPHA,
-                sigma=ctx.DYNAMIC_SIGMA,
-                phi=make_phi(),
-                batch_size=1024,
+        for name, phi_params in PHI_VARIANTS.items():
+            strategy = build(
+                f"passflow:dynamic?alpha={ctx.DYNAMIC_ALPHA}&batch=1024"
+                f"&sigma={ctx.DYNAMIC_SIGMA}&{phi_params}",
+                model=model,
             )
-            sampler = DynamicSampler(model, config)
-            results[name] = sampler.attack(
-                ctx.test_set, budgets, ctx.attack_rng(f"phi-{name}"), method=name
+            results[name] = engine.run(
+                strategy, ctx.attack_rng(f"phi-{name}"), method=name
             )
         return results
 

@@ -6,9 +6,8 @@ T=0.75 default the harness uses for the PassFlow-Static arm and shows the
 precision/diversity trade-off.
 """
 
-from repro.core.sampling import StaticSampler
 from repro.eval.reporting import format_table
-from repro.flows.priors import StandardNormalPrior
+from repro.strategies import AttackEngine, build
 
 from benchmarks.conftest import run_once, shape_assertions_enabled
 
@@ -17,13 +16,16 @@ TEMPERATURES = (0.5, 0.75, 1.0, 1.25)
 
 def test_temperature_sweep(benchmark, ctx, model):
     budget = ctx.settings.guess_budgets[-1]
+    engine = AttackEngine(ctx.test_set, [budget])
 
     def run_all():
         results = {}
         for temperature in TEMPERATURES:
-            prior = StandardNormalPrior(model.config.max_length, sigma=temperature)
-            results[temperature] = StaticSampler(model, prior=prior).attack(
-                ctx.test_set, [budget], ctx.attack_rng(f"temp-{temperature}"),
+            strategy = build(
+                f"passflow:static?temperature={temperature}", model=model
+            )
+            results[temperature] = engine.run(
+                strategy, ctx.attack_rng(f"temp-{temperature}"),
                 method=f"T={temperature}",
             ).final()
         return results

@@ -5,34 +5,21 @@ PassGAN-style WGAN, CWAE, Markov n-grams, Weir-style PCFG and the
 rule-based mangler -- under identical guess budgets, reproducing the
 Table II methodology across a wider field than the paper.
 
+Every method is a spec string resolved by ``repro.strategies.build`` and
+streamed through one ``AttackEngine``; pre-trained models are handed to
+``build`` while the count-based baselines fit themselves from the corpus.
+
 Run:  python examples/baseline_shootout.py
 """
 
 import numpy as np
 
-from repro import (
-    DynamicSampler,
-    DynamicSamplingConfig,
-    GaussianSmoother,
-    GuessingAttack,
-    PassFlow,
-    PassFlowConfig,
-    StaticSampler,
-    StepPenalization,
-)
-from repro.baselines import (
-    CWAE,
-    CWAEConfig,
-    MarkovModel,
-    PCFGModel,
-    PassGAN,
-    PassGANConfig,
-    RuleBasedGuesser,
-)
+from repro import PassFlow, PassFlowConfig
+from repro.baselines import CWAE, CWAEConfig, PassGAN, PassGANConfig
 from repro.data import PasswordDataset, SyntheticConfig, SyntheticRockYou
 from repro.data.alphabet import compact_alphabet
 from repro.eval.reporting import format_table
-from repro.flows.priors import StandardNormalPrior
+from repro.strategies import AttackEngine, build
 
 BUDGETS = [1000, 10000, 50000]
 
@@ -68,29 +55,31 @@ def main() -> None:
                            hidden=96, epochs=30, seed=6))
     cwae.fit(baseline_train)
 
-    print("fitting count-based baselines...")
-    markov = MarkovModel(order=3).fit(baseline_train)
-    pcfg = PCFGModel().fit(baseline_train)
-    rules = RuleBasedGuesser(wordlist_size=300).fit(baseline_train)
-
-    print("\nrunning attacks...")
-    attack = GuessingAttack(test_set, BUDGETS)
-    reports = {
-        "Rule-based (HashCat-style)": attack.run(rules, np.random.default_rng(10)),
-        "Markov (order 3)": attack.run(markov, np.random.default_rng(11)),
-        "PCFG (Weir)": attack.run(pcfg, np.random.default_rng(12)),
-        "PassGAN": attack.run(gan, np.random.default_rng(13)),
-        "CWAE": attack.run(cwae, np.random.default_rng(14)),
-        "PassFlow-Static": StaticSampler(
-            model, prior=StandardNormalPrior(10, sigma=0.75)
-        ).attack(test_set, BUDGETS, np.random.default_rng(15)),
-        "PassFlow-Dynamic+GS": DynamicSampler(
+    print("\nrunning attacks (count-based baselines fit from spec strings)...")
+    runs = [
+        # (display name, spec, pre-trained model or None, rng seed)
+        ("Rule-based (HashCat-style)", "rules?wordlist=300", None, 10),
+        ("Markov (order 3)", "markov:3", None, 11),
+        ("PCFG (Weir)", "pcfg", None, 12),
+        ("PassGAN", "passgan", gan, 13),
+        ("CWAE", "cwae", cwae, 14),
+        ("PassFlow-Static", "passflow:static?temperature=0.75", model, 15),
+        (
+            "PassFlow-Dynamic+GS",
+            "passflow:dynamic+gs?alpha=1&batch=1024&gamma=2&sigma=0.12",
             model,
-            DynamicSamplingConfig(alpha=1, sigma=0.12, phi=StepPenalization(2),
-                                  batch_size=1024),
-            smoother=GaussianSmoother(model.encoder),
-        ).attack(test_set, BUDGETS, np.random.default_rng(16)),
-    }
+            16,
+        ),
+    ]
+    engine = AttackEngine(test_set, BUDGETS)
+    reports = {}
+    for name, spec, trained, seed in runs:
+        strategy = build(
+            spec, model=trained, corpus=baseline_train, alphabet=alphabet
+        )
+        reports[name] = engine.run(
+            strategy, np.random.default_rng(seed), method=name
+        )
 
     rows = []
     for name, report in reports.items():

@@ -14,15 +14,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import (
-    DynamicSampler,
-    DynamicSamplingConfig,
-    GaussianSmoother,
-    PassFlow,
-    PassFlowConfig,
-    StaticSampler,
-    StepPenalization,
-)
+from repro import AttackEngine, PassFlow, PassFlowConfig, build
 from repro.data import PasswordDataset, SyntheticConfig, SyntheticRockYou
 from repro.data.alphabet import compact_alphabet
 from repro.eval.reporting import format_table
@@ -64,25 +56,22 @@ def main() -> None:
     samples = model.sample_passwords(12, prior=StandardNormalPrior(10, sigma=0.75))
     print("  " + "  ".join(samples))
 
-    print("\n=== 5. Guessing attacks ===")
+    print("\n=== 5. Guessing attacks (spec strings + streaming engine) ===")
     test_set = dataset.test_set
-    budgets = [1000, 10000, 50000]
-    prior = StandardNormalPrior(10, sigma=0.75)
-    ds_config = DynamicSamplingConfig(
-        alpha=1, sigma=0.12, phi=StepPenalization(2), batch_size=1024
-    )
+    engine = AttackEngine(test_set, budgets=[1000, 10000, 50000])
+    dynamic_spec = "passflow:dynamic?alpha=1&batch=1024&gamma=2&sigma=0.12"
 
-    static = StaticSampler(model, prior=prior).attack(
-        test_set, budgets, np.random.default_rng(1)
+    static = engine.run(
+        build("passflow:static?temperature=0.75", model=model),
+        np.random.default_rng(1),
     )
-    dynamic = DynamicSampler(model, ds_config).attack(
-        test_set, budgets, np.random.default_rng(2)
-    )
+    dynamic = engine.run(build(dynamic_spec, model=model), np.random.default_rng(2))
     # same seed as the plain Dynamic arm: paired comparison isolates the
     # effect of Gaussian Smoothing from sampling luck
-    dynamic_gs = DynamicSampler(
-        model, ds_config, smoother=GaussianSmoother(model.encoder)
-    ).attack(test_set, budgets, np.random.default_rng(2), method="PassFlow-Dynamic+GS")
+    dynamic_gs = engine.run(
+        build(dynamic_spec.replace(":dynamic?", ":dynamic+gs?"), model=model),
+        np.random.default_rng(2),
+    )
 
     rows = []
     for report in (static, dynamic, dynamic_gs):

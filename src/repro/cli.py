@@ -2,16 +2,23 @@
 
 Every workflow in the library is reachable from the shell::
 
-    python -m repro.cli synthesize --count 20000 --out corpus.txt
-    python -m repro.cli train --corpus corpus.txt --train-size 5000 \
-        --epochs 40 --out model.npz
-    python -m repro.cli sample --model model.npz --count 20
-    python -m repro.cli attack --model model.npz --corpus corpus.txt \
-        --strategy dynamic+gs --budgets 1000,10000
-    python -m repro.cli interpolate --model model.npz jimmy91 123456
-    python -m repro.cli conditional --model model.npz "love**"
-    python -m repro.cli strength --model model.npz --corpus corpus.txt love12 x9$kQ
-    python -m repro.cli experiments --markdown results.md
+    python -m repro synthesize --count 20000 --out corpus.txt
+    python -m repro train --corpus corpus.txt --train-size 5000 \
+        --epochs 40 --holdout 0.1 --out model.npz
+    python -m repro sample --model model.npz --count 20
+    python -m repro attack --model model.npz --corpus corpus.txt \
+        --strategy "passflow:dynamic+gs?alpha=1&sigma=0.12" --budgets 1000,10000
+    python -m repro attack --corpus corpus.txt --strategy markov:3
+    python -m repro strategies
+    python -m repro interpolate --model model.npz jimmy91 123456
+    python -m repro conditional --model model.npz "love**"
+    python -m repro strength --model model.npz --corpus corpus.txt love12 x9$kQ
+    python -m repro experiments --markdown results.md
+
+``attack`` and ``sample`` accept any registry spec string
+(``repro strategies`` lists the families); the bare names ``static``,
+``dynamic`` and ``dynamic+gs`` remain as shorthands wired to the
+``--alpha/--sigma/--gamma/--temperature`` flags.
 """
 
 from __future__ import annotations
@@ -24,19 +31,23 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.conditional import ConditionalGuesser
-from repro.core.dynamic import DynamicSampler, DynamicSamplingConfig
 from repro.core.interpolation import interpolate
 from repro.core.model import PassFlow, PassFlowConfig
-from repro.core.penalization import StepPenalization
-from repro.core.sampling import StaticSampler
-from repro.core.smoothing import GaussianSmoother
 from repro.core.strength import StrengthEstimator
 from repro.data.alphabet import compact_alphabet, default_alphabet
 from repro.data.dataset import PasswordDataset
+from repro.data.encoding import PasswordEncoder
 from repro.data.rockyou import load_password_file
 from repro.data.synthetic import SyntheticConfig, SyntheticRockYou
 from repro.eval.reporting import format_table
-from repro.flows.priors import StandardNormalPrior
+from repro.strategies import (
+    AttackEngine,
+    SpecError,
+    available_strategies,
+    build,
+    parse_spec,
+    take,
+)
 from repro.utils.logging import enable_console_logging
 
 
@@ -73,6 +84,26 @@ def cmd_train(args) -> int:
     corpus = _read_corpus(args.corpus, alphabet)
     if args.train_size and args.train_size < len(corpus):
         corpus = corpus[: args.train_size]
+    if not 0.0 <= args.holdout < 1.0:
+        raise SystemExit("--holdout must be a fraction in [0, 1)")
+    validation: Optional[List[str]] = None
+    if args.holdout > 0.0:
+        holdout_size = int(len(corpus) * args.holdout)
+        if holdout_size < 1:
+            raise SystemExit(
+                f"--holdout {args.holdout} of {len(corpus)} passwords is empty; "
+                "use a larger corpus or fraction"
+            )
+        # sample the holdout uniformly (seeded): leak files are typically
+        # frequency-sorted, so a tail slice would validate only on rare
+        # passwords and skew best-epoch selection
+        held = set(
+            np.random.default_rng(args.seed).choice(
+                len(corpus), size=holdout_size, replace=False
+            )
+        )
+        validation = [p for i, p in enumerate(corpus) if i in held]
+        corpus = [p for i, p in enumerate(corpus) if i not in held]
     config = PassFlowConfig(
         alphabet_chars=alphabet.chars,
         num_couplings=args.couplings,
@@ -80,54 +111,101 @@ def cmd_train(args) -> int:
         batch_size=args.batch_size,
         epochs=args.epochs,
         mask_strategy=args.mask,
+        learning_rate=args.lr,
         seed=args.seed,
     )
     model = PassFlow(config)
-    print(f"training on {len(corpus)} passwords ({args.epochs} epochs)...")
-    history = model.fit(PasswordDataset(corpus, [], model.encoder), verbose=True)
+    held = f", {len(validation)} held out" if validation else ""
+    print(f"training on {len(corpus)} passwords ({args.epochs} epochs{held})...")
+    history = model.fit(
+        PasswordDataset(corpus, [], model.encoder),
+        verbose=True,
+        validation=validation,
+        keep_best=validation is not None,  # Sec. IV-D: save the best epoch
+    )
     path = model.save(args.out)
-    print(f"final NLL {history.nll[-1]:.3f}; checkpoint saved to {path}")
+    summary = f"final NLL {history.nll[-1]:.3f}"
+    if history.val_nll:
+        summary += (
+            f"; val NLL {history.val_nll[-1]:.3f}"
+            f" (saved best epoch {history.best_epoch + 1})"
+        )
+    print(f"{summary}; checkpoint saved to {path}")
     return 0
+
+
+def _spec_from_args(args) -> str:
+    """Resolve --strategy: registry spec strings plus legacy shorthands."""
+    name = args.strategy
+    if name == "static":
+        return f"passflow:static?temperature={args.temperature}"
+    if name in ("dynamic", "dynamic+gs"):
+        return (
+            f"passflow:{name}?alpha={args.alpha}"
+            f"&gamma={args.gamma}&sigma={args.sigma}"
+        )
+    return name
 
 
 def cmd_sample(args) -> int:
     model = PassFlow.load(args.model)
-    prior = StandardNormalPrior(model.config.max_length, sigma=args.temperature)
-    samples = model.sample_passwords(
-        args.count, rng=np.random.default_rng(args.seed), prior=prior
-    )
-    for sample in samples:
+    spec = _spec_from_args(args)
+    try:
+        strategy = build(spec, model=model)
+    except SpecError as exc:
+        raise SystemExit(str(exc))
+    for sample in take(strategy, args.count, np.random.default_rng(args.seed)):
         print(sample)
     return 0
 
 
 def cmd_attack(args) -> int:
-    model = PassFlow.load(args.model)
-    corpus = _read_corpus(args.corpus, model.alphabet)
+    spec = _spec_from_args(args)
+    try:
+        parsed = parse_spec(spec)
+    except SpecError as exc:
+        raise SystemExit(str(exc))
+    model = PassFlow.load(args.model) if args.model else None
+    if parsed.family == "passflow" and model is None:
+        raise SystemExit("passflow strategies need --model <checkpoint.npz>")
+    alphabet = model.alphabet if model is not None else _alphabet(args.alphabet)
+    encoder = (
+        model.encoder if model is not None else PasswordEncoder(alphabet)
+    )
+    corpus = _read_corpus(args.corpus, alphabet)
     split = int(len(corpus) * 0.5)
-    dataset = PasswordDataset(corpus[:split] or corpus, corpus[split:], model.encoder)
+    train_half = corpus[:split] or corpus
+    dataset = PasswordDataset(train_half, corpus[split:], encoder)
     test_set = dataset.test_set
     budgets = sorted(int(b) for b in args.budgets.split(","))
     rng = np.random.default_rng(args.seed)
-    print(f"attacking {len(test_set)} cleaned targets, budgets {budgets}")
 
-    if args.strategy == "static":
-        prior = StandardNormalPrior(model.config.max_length, sigma=args.temperature)
-        report = StaticSampler(model, prior=prior).attack(test_set, budgets, rng)
-    else:
-        config = DynamicSamplingConfig(
-            alpha=args.alpha, sigma=args.sigma, phi=StepPenalization(args.gamma)
-        )
-        smoother = GaussianSmoother(model.encoder) if args.strategy == "dynamic+gs" else None
-        report = DynamicSampler(model, config, smoother=smoother).attack(
-            test_set, budgets, rng, method=f"PassFlow-{args.strategy}"
-        )
+    try:
+        strategy = build(spec, model=model, corpus=train_half, alphabet=alphabet)
+    except SpecError as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"attacking {len(test_set)} cleaned targets with {strategy.describe()}, "
+        f"budgets {budgets}"
+    )
+    report = AttackEngine(test_set, budgets).run(strategy, rng)
 
     rows = [
         [row.guesses, row.unique, row.matched, round(row.match_percent, 2)]
         for row in report.rows
     ]
+    print(f"method: {report.method}")
     print(format_table(["guesses", "unique", "matched", "% of test"], rows))
+    return 0
+
+
+def cmd_strategies(args) -> int:
+    rows = [[family, summary] for family, summary in available_strategies().items()]
+    print(format_table(["family", "description"], rows))
+    print(
+        "\nspec grammar: family[:variant][?key=value&...]   e.g. "
+        "passflow:dynamic+gs?alpha=1&sigma=0.12, markov:3, rules?wordlist=300"
+    )
     return 0
 
 
@@ -157,10 +235,12 @@ def cmd_strength(args) -> int:
     estimator = StrengthEstimator(model)
     if args.corpus:
         estimator.calibrate(_read_corpus(args.corpus, model.alphabet)[:5000])
-    rows = []
-    for entry in estimator.report(args.passwords):
-        rows.append(list(entry.values()))
-    headers = ["password", "log_prob"] + (["percentile", "band"] if estimator.calibrated else [])
+    headers = ["password", "log_prob"] + (
+        ["percentile", "band"] if estimator.calibrated else []
+    )
+    rows = [
+        [entry[key] for key in headers] for entry in estimator.report(args.passwords)
+    ]
     print(format_table(headers, rows))
     return 0
 
@@ -196,6 +276,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hidden", type=int, default=48)
     p.add_argument("--batch-size", type=int, default=256)
     p.add_argument("--epochs", type=int, default=40)
+    p.add_argument("--lr", type=float, default=1e-3, help="Adam learning rate")
+    p.add_argument(
+        "--holdout",
+        type=float,
+        default=0.0,
+        help="fraction of the corpus held out for validation NLL "
+        "(enables best-epoch tracking)",
+    )
     p.add_argument("--mask", default="char-run-1")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_train)
@@ -203,14 +291,29 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sample", help="generate password guesses")
     p.add_argument("--model", required=True)
     p.add_argument("--count", type=int, default=20)
+    p.add_argument(
+        "--strategy",
+        default="static",
+        help="strategy spec (default static; any passflow spec works)",
+    )
     p.add_argument("--temperature", type=float, default=0.75)
+    p.add_argument("--alpha", type=int, default=1)
+    p.add_argument("--sigma", type=float, default=0.12)
+    p.add_argument("--gamma", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_sample)
 
     p = sub.add_parser("attack", help="run a guessing attack against a password file")
-    p.add_argument("--model", required=True)
+    p.add_argument("--model", help="PassFlow checkpoint (required for passflow specs)")
     p.add_argument("--corpus", required=True)
-    p.add_argument("--strategy", choices=("static", "dynamic", "dynamic+gs"), default="dynamic+gs")
+    p.add_argument(
+        "--strategy",
+        default="dynamic+gs",
+        help="strategy spec: static|dynamic|dynamic+gs shorthands, or any "
+        "registry spec (passflow:static?temperature=0.75, markov:3, pcfg, "
+        "rules, passgan, cwae); see `repro strategies`",
+    )
+    p.add_argument("--alphabet", default="compact", help="used when no --model is given")
     p.add_argument("--budgets", default="1000,10000")
     p.add_argument("--temperature", type=float, default=0.75)
     p.add_argument("--alpha", type=int, default=1)
@@ -218,6 +321,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gamma", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_attack)
+
+    p = sub.add_parser("strategies", help="list the registered strategy families")
+    p.set_defaults(func=cmd_strategies)
 
     p = sub.add_parser("interpolate", help="latent interpolation between two passwords")
     p.add_argument("--model", required=True)

@@ -11,8 +11,12 @@
 * :mod:`repro.core.interpolation` -- latent interpolation (Algorithm 2),
 * :mod:`repro.core.conditional` -- conditional guessing extension
   (Sec. VII future work),
-* :mod:`repro.core.guesser` -- the high-level guessing-attack driver used by
-  every experiment.
+* :mod:`repro.core.guesser` -- guess accounting and reports.
+
+The strategy implementations themselves live behind the unified
+:mod:`repro.strategies` API (protocol + spec-string registry + streaming
+engine); :class:`StaticSampler`/:class:`DynamicSampler` remain as
+deprecated facades over it.
 """
 
 from repro.core.model import PassFlow, PassFlowConfig, TrainingHistory

@@ -7,27 +7,22 @@ phi of its usage count.  phi drives exploration: a component that has
 conditioned the prior for gamma batches is dropped (step phi), pushing the
 search into fresher high-density regions.
 
-Implementation notes (Sec. IV-A is written per-guess; we batch):
-
-* usage counts (the Mh dictionary) increment once per *batch* for every
-  component active in the mixture that produced the batch;
-* when every component is penalized to zero weight, the sampler falls back
-  to the base prior (the paper leaves this case unspecified; falling back
-  resumes global exploration, and new matches re-enable the mixture);
-* the latent stored in M for a matched password is the sampled z that
-  produced it, exactly as in Algorithm 1 line 8;
-* ``max_components`` caps the mixture at the most recent matches to bound
-  per-batch cost at paper-scale budgets.
+The streaming implementation (batching notes included) lives in
+:class:`repro.strategies.passflow.DynamicStrategy`; this module keeps the
+Algorithm 1 configuration/schedule plus :class:`DynamicSampler`, a
+deprecated facade whose ``attack`` produces bit-identical reports through
+the :class:`repro.strategies.AttackEngine`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set
 
 import numpy as np
 
-from repro.core.guesser import GuessAccounting, GuessingReport
+from repro.core.guesser import GuessingReport
 from repro.core.model import PassFlow
 from repro.core.penalization import PhiFunction, StepPenalization
 from repro.core.smoothing import GaussianSmoother
@@ -86,7 +81,13 @@ def paper_schedule(num_guesses: int, batch_size: int = 2048) -> DynamicSamplingC
 
 
 class DynamicSampler:
-    """Algorithm 1: feedback-driven guess generation."""
+    """Algorithm 1: feedback-driven guess generation.
+
+    Deprecated facade over
+    :class:`repro.strategies.passflow.DynamicStrategy`; the matched-latent
+    memory (M, Mh) lives on the wrapped strategy and is exposed through the
+    ``matched_latents`` / ``usage_counts`` properties for continuity.
+    """
 
     def __init__(
         self,
@@ -94,33 +95,47 @@ class DynamicSampler:
         config: Optional[DynamicSamplingConfig] = None,
         smoother: Optional[GaussianSmoother] = None,
     ) -> None:
-        self.model = model
-        self.config = config or DynamicSamplingConfig()
-        self.smoother = smoother
-        # The sets M and Mh of Algorithm 1.
-        self.matched_latents: List[np.ndarray] = []
-        self.usage_counts: List[int] = []
+        from repro.strategies.passflow import DynamicStrategy
+
+        self._strategy = DynamicStrategy(model, config, smoother=smoother)
+
+    @property
+    def model(self) -> PassFlow:
+        return self._strategy.model
+
+    @property
+    def config(self) -> DynamicSamplingConfig:
+        return self._strategy.config
+
+    @property
+    def smoother(self) -> Optional[GaussianSmoother]:
+        return self._strategy.smoother
+
+    # The sets M and Mh of Algorithm 1 (delegated to the strategy).
+    @property
+    def matched_latents(self) -> List[np.ndarray]:
+        return self._strategy.matched_latents
+
+    @matched_latents.setter
+    def matched_latents(self, value: List[np.ndarray]) -> None:
+        self._strategy.matched_latents = list(value)
+
+    @property
+    def usage_counts(self) -> List[int]:
+        return self._strategy.usage_counts
+
+    @usage_counts.setter
+    def usage_counts(self, value: List[int]) -> None:
+        self._strategy.usage_counts = list(value)
 
     # ------------------------------------------------------------------
     # prior construction (Eq. 14)
     # ------------------------------------------------------------------
     def _mixture_prior(self) -> Optional[GaussianMixturePrior]:
-        if len(self.matched_latents) <= self.config.alpha:
-            return None
-        start = max(0, len(self.matched_latents) - self.config.max_components)
-        latents = np.stack(self.matched_latents[start:])
-        counts = np.asarray(self.usage_counts[start:], dtype=np.float64)
-        weights = self.config.phi(counts)
-        if weights.sum() <= 0.0:
-            return None  # everything penalized: fall back to base prior
-        self._active_window = (start, weights > 0.0)
-        return GaussianMixturePrior(latents, self.config.sigma, weights)
+        return self._strategy.mixture_prior()
 
     def _note_usage(self) -> None:
-        start, active = self._active_window
-        for offset, is_active in enumerate(active):
-            if is_active:
-                self.usage_counts[start + offset] += 1
+        self._strategy._note_usage()
 
     # ------------------------------------------------------------------
     # attack loop
@@ -133,21 +148,13 @@ class DynamicSampler:
         method: str = "PassFlow-Dynamic",
     ) -> GuessingReport:
         """Run Algorithm 1 up to the final budget; return the report."""
-        accounting = GuessAccounting(set(test_set), list(budgets))
-        while not accounting.done:
-            count = min(self.config.batch_size, accounting.remaining)
-            prior = self._mixture_prior()
-            latents = self.model.sample_latents(count, rng=rng, prior=prior)
-            if prior is not None:
-                self._note_usage()
-            features = self.model.decode_latents_to_features(latents)
-            passwords = self.model.encoder.decode_batch(features)
-            if self.smoother is not None:
-                passwords = self.smoother.smooth(
-                    passwords, features, accounting.unique, rng
-                )
-            new_match_indices = accounting.observe(passwords)
-            for index in new_match_indices:
-                self.matched_latents.append(latents[index])
-                self.usage_counts.append(0)
-        return accounting.report(method)
+        warnings.warn(
+            "DynamicSampler.attack is deprecated; build a strategy with "
+            "repro.strategies.build('passflow:dynamic', model=...) and run it "
+            "through repro.strategies.AttackEngine",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.strategies.engine import AttackEngine
+
+        return AttackEngine(test_set, budgets).run(self._strategy, rng, method=method)

@@ -3,22 +3,32 @@
 Draw latents from the trained prior, invert the flow, bin to strings.  No
 feedback, no prior adaptation -- the plain generative process of Sec. II.
 Optionally applies Gaussian Smoothing to break collisions.
+
+.. deprecated::
+    The streaming implementation lives in
+    :class:`repro.strategies.passflow.StaticStrategy`; drive it with an
+    :class:`repro.strategies.AttackEngine`.  :meth:`StaticSampler.attack`
+    remains as a thin shim and produces bit-identical reports.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence, Set
 
 import numpy as np
 
-from repro.core.guesser import GuessAccounting, GuessingReport
+from repro.core.guesser import GuessingReport
 from repro.core.model import PassFlow
 from repro.core.smoothing import GaussianSmoother
 from repro.flows.priors import Prior
 
 
 class StaticSampler:
-    """Fixed-prior guess generator over a trained PassFlow model."""
+    """Fixed-prior guess generator over a trained PassFlow model.
+
+    Deprecated facade over :class:`repro.strategies.passflow.StaticStrategy`.
+    """
 
     def __init__(
         self,
@@ -42,15 +52,21 @@ class StaticSampler:
         method: str = "PassFlow-Static",
     ) -> GuessingReport:
         """Generate guesses up to the final budget; return the report."""
-        accounting = GuessAccounting(set(test_set), list(budgets))
-        while not accounting.done:
-            count = min(self.batch_size, accounting.remaining)
-            latents = self.model.sample_latents(count, rng=rng, prior=self.prior)
-            features = self.model.decode_latents_to_features(latents)
-            passwords = self.model.encoder.decode_batch(features)
-            if self.smoother is not None:
-                passwords = self.smoother.smooth(
-                    passwords, features, accounting.unique, rng
-                )
-            accounting.observe(passwords)
-        return accounting.report(method)
+        warnings.warn(
+            "StaticSampler.attack is deprecated; build a strategy with "
+            "repro.strategies.build('passflow:static', model=...) and run it "
+            "through repro.strategies.AttackEngine",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.strategies.engine import AttackEngine
+        from repro.strategies.passflow import StaticStrategy
+
+        strategy = StaticStrategy(
+            self.model,
+            prior=self.prior,
+            smoother=self.smoother,
+            batch_size=self.batch_size,
+            name=method,
+        )
+        return AttackEngine(test_set, budgets).run(strategy, rng, method=method)

@@ -1,16 +1,19 @@
-"""Shared attack runs reused by Table II and Table III drivers."""
+"""Shared attack runs reused by Table II and Table III drivers.
+
+The five methods are plain strategy spec strings resolved by
+:meth:`repro.eval.harness.EvalContext.strategy` against the context's
+cached artifacts and streamed through one
+:class:`repro.strategies.AttackEngine` per run.
+"""
 
 from __future__ import annotations
 
 from typing import Dict
 
-from repro.core.dynamic import DynamicSampler, DynamicSamplingConfig
-from repro.core.guesser import GuessingAttack, GuessingReport
+from repro.core.dynamic import DynamicSamplingConfig
+from repro.core.guesser import GuessingReport
 from repro.core.penalization import NoPenalization, StepPenalization
-from repro.core.sampling import StaticSampler
-from repro.core.smoothing import GaussianSmoother
 from repro.eval.harness import EvalContext
-from repro.flows.priors import StandardNormalPrior
 
 METHODS = (
     "PassGAN",
@@ -32,30 +35,38 @@ def dynamic_config(ctx: EvalContext, with_phi: bool = True) -> DynamicSamplingCo
     )
 
 
+def dynamic_spec(ctx: EvalContext, smoothed: bool = False, with_phi: bool = True) -> str:
+    """The context's Dynamic Sampling parameters as a strategy spec."""
+    variant = "dynamic+gs" if smoothed else "dynamic"
+    phi = "step" if with_phi else "none"
+    return (
+        f"passflow:{variant}?alpha={ctx.DYNAMIC_ALPHA}&batch=1024"
+        f"&gamma={ctx.DYNAMIC_GAMMA}&phi={phi}&sigma={ctx.DYNAMIC_SIGMA}"
+    )
+
+
+def static_spec(ctx: EvalContext) -> str:
+    """The context's static-sampling parameters as a strategy spec."""
+    return f"passflow:static?temperature={ctx.STATIC_TEMPERATURE}"
+
+
 def collect_reports(ctx: EvalContext) -> Dict[str, GuessingReport]:
     """Run (once per context) the five attacks of Tables II/III."""
     cached = getattr(ctx, "_table23_reports", None)
     if cached is not None:
         return cached
 
-    test_set = ctx.test_set
-    budgets = ctx.settings.guess_budgets
-    model = ctx.passflow()
-    prior = StandardNormalPrior(model.config.max_length, sigma=ctx.STATIC_TEMPERATURE)
-
-    reports: Dict[str, GuessingReport] = {}
-    attack = GuessingAttack(test_set, budgets)
-    reports["PassGAN"] = attack.run(ctx.passgan(), ctx.attack_rng("passgan"), "PassGAN")
-    reports["CWAE"] = attack.run(ctx.cwae(), ctx.attack_rng("cwae"), "CWAE")
-    reports["PassFlow-Static"] = StaticSampler(model, prior=prior).attack(
-        test_set, budgets, ctx.attack_rng("static"), method="PassFlow-Static"
+    runs = (
+        ("PassGAN", "passgan", "passgan"),
+        ("CWAE", "cwae", "cwae"),
+        ("PassFlow-Static", static_spec(ctx), "static"),
+        ("PassFlow-Dynamic", dynamic_spec(ctx), "dynamic"),
+        ("PassFlow-Dynamic+GS", dynamic_spec(ctx, smoothed=True), "dynamic-gs"),
     )
-    reports["PassFlow-Dynamic"] = DynamicSampler(model, dynamic_config(ctx)).attack(
-        test_set, budgets, ctx.attack_rng("dynamic"), method="PassFlow-Dynamic"
-    )
-    reports["PassFlow-Dynamic+GS"] = DynamicSampler(
-        model, dynamic_config(ctx), smoother=GaussianSmoother(model.encoder)
-    ).attack(test_set, budgets, ctx.attack_rng("dynamic-gs"), method="PassFlow-Dynamic+GS")
+    reports: Dict[str, GuessingReport] = {
+        method: ctx.run_attack(spec, label, method=method)
+        for method, spec, label in runs
+    }
 
     ctx._table23_reports = reports
     return reports

@@ -9,11 +9,10 @@ sizes of the active profile and report the same statistic.
 
 from __future__ import annotations
 
-from repro.core.dynamic import DynamicSampler
-from repro.core.smoothing import GaussianSmoother
-from repro.eval.experiments.common import dynamic_config
+from repro.eval.experiments.common import dynamic_spec
 from repro.eval.harness import EvalContext
 from repro.eval.reporting import ExperimentResult
+from repro.strategies import AttackEngine, build
 
 
 def run(ctx: EvalContext) -> ExperimentResult:
@@ -28,12 +27,9 @@ def run(ctx: EvalContext) -> ExperimentResult:
     matches = {}
     for size in sizes:
         model = ctx.passflow_for_train_size(size)
-        sampler = DynamicSampler(
-            model, dynamic_config(ctx), smoother=GaussianSmoother(model.encoder)
-        )
-        report = sampler.attack(
-            ctx.test_set, [budget], ctx.attack_rng(f"fig4-{size}"),
-            method=f"PassFlow-n{size}",
+        strategy = build(dynamic_spec(ctx, smoothed=True), model=model)
+        report = AttackEngine(ctx.test_set, [budget]).run(
+            strategy, ctx.attack_rng(f"fig4-{size}"), method=f"PassFlow-n{size}"
         )
         matches[size] = report.row_at(budget).matched
     baseline = max(matches[sizes[0]], 1)

@@ -8,8 +8,7 @@ the with-phi arm wins at every budget and the gap grows with budget
 
 from __future__ import annotations
 
-from repro.core.dynamic import DynamicSampler
-from repro.eval.experiments.common import dynamic_config
+from repro.eval.experiments.common import dynamic_spec
 from repro.eval.harness import EvalContext
 from repro.eval.reporting import ExperimentResult
 
@@ -22,14 +21,12 @@ def run(ctx: EvalContext, seeds: int = 3) -> ExperimentResult:
     would otherwise dominate the phi effect.
     """
     budgets = ctx.settings.guess_budgets
-    model = ctx.passflow()
 
     def averaged(with_phi: bool, label: str):
         totals = {budget: 0.0 for budget in budgets}
         for seed in range(seeds):
-            report = DynamicSampler(model, dynamic_config(ctx, with_phi=with_phi)).attack(
-                ctx.test_set,
-                budgets,
+            report = ctx.engine().run(
+                ctx.strategy(dynamic_spec(ctx, with_phi=with_phi)),
                 ctx.attack_rng(f"fig5-{label}-{seed}"),
                 method=f"Dynamic {label} phi",
             )

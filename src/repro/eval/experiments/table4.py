@@ -13,7 +13,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.diversity import compare_to_corpus, top_structures
-from repro.core.sampling import StaticSampler
 from repro.eval.harness import EvalContext
 from repro.eval.metrics import plausibility_rate
 from repro.eval.reporting import ExperimentResult

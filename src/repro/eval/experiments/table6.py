@@ -7,10 +7,10 @@ Paper finding: char-run-1 wins at every budget.
 
 from __future__ import annotations
 
-from repro.core.sampling import StaticSampler
+from repro.eval.experiments.common import static_spec
 from repro.eval.harness import EvalContext
 from repro.eval.reporting import ExperimentResult
-from repro.flows.priors import StandardNormalPrior
+from repro.strategies import build
 
 STRATEGIES = ("horizontal", "char-run-2", "char-run-1")
 
@@ -21,12 +21,11 @@ def run(ctx: EvalContext) -> ExperimentResult:
     results = {}
     for strategy in STRATEGIES:
         model = ctx.passflow(mask_strategy=strategy)
-        prior = StandardNormalPrior(model.config.max_length, sigma=ctx.STATIC_TEMPERATURE)
-        report = StaticSampler(model, prior=prior).attack(
-            ctx.test_set, budgets, ctx.attack_rng(f"table6-{strategy}"),
+        results[strategy] = ctx.engine().run(
+            build(static_spec(ctx), model=model),
+            ctx.attack_rng(f"table6-{strategy}"),
             method=f"PassFlow-{strategy}",
         )
-        results[strategy] = report
     headers = ["Guesses"] + [f"{s} matched" for s in STRATEGIES]
     rows = []
     for budget in budgets:

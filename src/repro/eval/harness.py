@@ -35,10 +35,12 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.baselines import CWAE, CWAEConfig, MarkovModel, PCFGModel, PassGAN, PassGANConfig
+from repro.core.guesser import GuessingReport
 from repro.core.model import PassFlow, PassFlowConfig
 from repro.data.alphabet import Alphabet, compact_alphabet
 from repro.data.dataset import PasswordDataset
 from repro.data.synthetic import SyntheticConfig, SyntheticRockYou
+from repro.strategies import AttackEngine, GuessingStrategy, build, parse_spec
 from repro.utils.logging import get_logger
 from repro.utils.rng import spawn_rng
 
@@ -300,6 +302,47 @@ class EvalContext:
         if self._pcfg is None:
             self._pcfg = PCFGModel().fit(self.baseline_train)
         return self._pcfg
+
+    # ------------------------------------------------------------------
+    # guessing strategies (spec strings resolved against cached artifacts)
+    # ------------------------------------------------------------------
+    def engine(self) -> AttackEngine:
+        """A streaming attack engine over this context's test set/budgets."""
+        return AttackEngine(self.test_set, self.settings.guess_budgets)
+
+    def strategy(self, spec: str) -> GuessingStrategy:
+        """Build a strategy spec using this context's trained artifacts.
+
+        ``passflow:*`` specs resolve against the main cached PassFlow;
+        baseline specs reuse the cached baseline when it matches the spec
+        and otherwise fit a fresh model on ``baseline_train``.
+        """
+        parsed = parse_spec(spec)
+        model = None
+        if parsed.family == "passflow":
+            model = self.passflow()
+        elif parsed.family == "passgan":
+            model = self.passgan()
+        elif parsed.family == "cwae":
+            model = self.cwae()
+        elif parsed.family == "markov" and parsed.variant in (None, "3"):
+            model = self.markov()
+        elif parsed.family == "pcfg":
+            model = self.pcfg()
+        return build(
+            parsed,
+            model=model,
+            corpus=self.baseline_train,
+            alphabet=self.alphabet,
+        )
+
+    def run_attack(
+        self, spec: str, label: str, method: Optional[str] = None
+    ) -> GuessingReport:
+        """One seeded attack run: build the spec, stream it to completion."""
+        return self.engine().run(
+            self.strategy(spec), self.attack_rng(label), method=method
+        )
 
     # ------------------------------------------------------------------
     def attack_rng(self, label: str) -> np.random.Generator:

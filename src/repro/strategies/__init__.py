@@ -1,0 +1,66 @@
+"""Unified guessing-strategy API: protocol, registry and streaming engine.
+
+One composable surface over every guess generator in the repository --
+the four PassFlow modes (static, dynamic, dynamic+GS, conditional) and the
+five baselines (PassGAN, CWAE, Markov, PCFG, rules):
+
+* :class:`GuessingStrategy` / :class:`GuessBatch` -- the lazy-producer
+  protocol every strategy implements (:mod:`repro.strategies.base`),
+* :func:`build` / :func:`parse_spec` / :func:`register` -- the string-spec
+  registry (``build("passflow:dynamic+gs?alpha=1&sigma=0.12", model=m)``,
+  ``build("markov:3", corpus=train)``),
+* :class:`AttackEngine` -- streaming, budget-checkpointed, resumable
+  attack driver producing :class:`~repro.core.guesser.GuessingReport`
+  rows,
+* :func:`take` -- attack-free sampling from any strategy.
+
+Typical use::
+
+    from repro.strategies import AttackEngine, build
+
+    strategy = build("passflow:dynamic+gs?alpha=1&sigma=0.12", model=model)
+    engine = AttackEngine(test_set, budgets=[10**4, 10**5])
+    report = engine.run(strategy, rng)
+"""
+
+from repro.strategies.base import AttackContext, GuessBatch, GuessingStrategy
+from repro.strategies.engine import AttackEngine, AttackState, take
+from repro.strategies.registry import (
+    BuildResources,
+    SpecError,
+    StrategySpec,
+    available_strategies,
+    build,
+    format_spec,
+    parse_spec,
+    register,
+)
+
+# importing the implementation modules populates the registry
+from repro.strategies.passflow import (  # noqa: E402
+    ConditionalStrategy,
+    DynamicStrategy,
+    StaticStrategy,
+)
+from repro.strategies.baselines import SampledModelStrategy  # noqa: E402
+
+__all__ = [
+    "AttackContext",
+    "AttackEngine",
+    "AttackState",
+    "BuildResources",
+    "ConditionalStrategy",
+    "DynamicStrategy",
+    "GuessBatch",
+    "GuessingStrategy",
+    "SampledModelStrategy",
+    "SpecError",
+    "StaticStrategy",
+    "StrategySpec",
+    "available_strategies",
+    "build",
+    "format_spec",
+    "parse_spec",
+    "register",
+    "take",
+]

@@ -1,0 +1,181 @@
+"""Streaming attack engine: drive any GuessingStrategy through accounting.
+
+Replaces the eager ``.attack()`` methods that every sampler/baseline used
+to hand-roll.  The engine
+
+* consumes a strategy lazily (constant memory in the guess budget),
+* emits Table II/III-style :class:`~repro.core.guesser.BudgetRow`
+  checkpoints as each budget is crossed (:meth:`AttackEngine.stream`),
+* supports early-stop predicates and batch caps,
+* is resumable: an :class:`AttackState` from :meth:`AttackEngine.begin`
+  can be driven in several ``run``/``stream`` calls (e.g. pause a sharded
+  worker, inspect, continue).
+
+``take`` is the attack-free companion: materialize N guesses from any
+strategy (the ``repro sample`` code path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.core.guesser import BudgetRow, GuessAccounting, GuessingReport
+from repro.strategies.base import AttackContext, GuessingStrategy
+
+
+def _close_iterator(iterator) -> None:
+    """Release a guess stream; plain (non-generator) iterators lack close()."""
+    close = getattr(iterator, "close", None)
+    if close is not None:
+        close()
+
+
+@dataclass
+class AttackState:
+    """Resumable progress of one attack run."""
+
+    accounting: GuessAccounting
+    batches: int = 0
+    interrupted: bool = False
+
+    @property
+    def done(self) -> bool:
+        """True once the final guess budget has been reached."""
+        return self.accounting.done
+
+    @property
+    def total_guesses(self) -> int:
+        return self.accounting.total
+
+    @property
+    def matched(self) -> int:
+        return len(self.accounting.matched)
+
+    @property
+    def match_fraction(self) -> float:
+        if not self.accounting.test_set:
+            return 0.0
+        return len(self.accounting.matched) / len(self.accounting.test_set)
+
+    def report(self, method: str) -> GuessingReport:
+        """Finalize the accounting into a report (state stays usable)."""
+        return self.accounting.report(method)
+
+
+class AttackEngine:
+    """Runs guessing attacks: any strategy, one accounting discipline."""
+
+    def __init__(
+        self,
+        test_set: Set[str],
+        budgets: Sequence[int],
+        sample_cap: int = 16,
+    ) -> None:
+        self.test_set = set(test_set)
+        self.budgets = list(budgets)
+        self.sample_cap = sample_cap
+        # validate eagerly so misconfiguration fails at construction
+        # (empty accounting: avoids copying a possibly multi-million-entry
+        # test set just for budget validation)
+        GuessAccounting(set(), self.budgets, sample_cap)
+
+    # ------------------------------------------------------------------
+    def begin(self) -> AttackState:
+        """A fresh resumable state for this engine's test set and budgets."""
+        return AttackState(
+            GuessAccounting(set(self.test_set), list(self.budgets), self.sample_cap)
+        )
+
+    def stream(
+        self,
+        strategy: GuessingStrategy,
+        rng: np.random.Generator,
+        state: AttackState,
+        max_batches: Optional[int] = None,
+        stop_when: Optional[Callable[[AttackState], bool]] = None,
+    ) -> Iterator[BudgetRow]:
+        """Drive the strategy, yielding each budget checkpoint as crossed.
+
+        Stops when the final budget is reached, the strategy exhausts
+        itself, ``max_batches`` additional batches were consumed, or
+        ``stop_when(state)`` turns true; the last two set
+        ``state.interrupted`` so callers know the run can be resumed.
+        """
+        accounting = state.accounting
+        if accounting.done:
+            return
+        state.interrupted = False
+        batches_before = state.batches
+        emitted = len(accounting.rows)
+        strategy.bind(AttackContext(accounting=accounting))
+        generator = strategy.iter_guesses(rng)
+        try:
+            for batch in generator:
+                new_matches = accounting.observe(batch.passwords)
+                state.batches += 1
+                if new_matches:
+                    strategy.on_matches(batch, new_matches)
+                while emitted < len(accounting.rows):
+                    yield accounting.rows[emitted]
+                    emitted += 1
+                if accounting.done:
+                    return
+                if max_batches is not None and state.batches - batches_before >= max_batches:
+                    state.interrupted = True
+                    return
+                if stop_when is not None and stop_when(state):
+                    state.interrupted = True
+                    return
+        finally:
+            _close_iterator(generator)
+            strategy.bind(None)
+
+    def run(
+        self,
+        strategy: GuessingStrategy,
+        rng: np.random.Generator,
+        method: Optional[str] = None,
+        state: Optional[AttackState] = None,
+        max_batches: Optional[int] = None,
+        stop_when: Optional[Callable[[AttackState], bool]] = None,
+    ) -> GuessingReport:
+        """Run (or resume, via ``state``) an attack and return the report."""
+        state = state if state is not None else self.begin()
+        for _ in self.stream(
+            strategy, rng, state, max_batches=max_batches, stop_when=stop_when
+        ):
+            pass
+        return state.report(method or strategy.name)
+
+
+def take(
+    strategy: GuessingStrategy,
+    count: int,
+    rng: np.random.Generator,
+) -> List[str]:
+    """Materialize up to ``count`` guesses from a strategy outside an attack.
+
+    Returns fewer than ``count`` when the strategy's stream is finite
+    (e.g. a wildcard-free conditional template yields a single guess).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if count == 0:
+        return []
+    context = AttackContext(limit=count)
+    strategy.bind(context)
+    out: List[str] = []
+    generator = strategy.iter_guesses(rng)
+    try:
+        for batch in generator:
+            out.extend(batch.passwords)
+            context.note(batch.passwords)
+            if len(out) >= count:
+                break
+    finally:
+        _close_iterator(generator)
+        strategy.bind(None)
+    return out[:count]

@@ -1,0 +1,260 @@
+"""Streaming AttackEngine: determinism vs the legacy eager attacks,
+resumable state, early stop, and the deprecation shims."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import DynamicSampler, DynamicSamplingConfig
+from repro.core.guesser import GuessingAttack
+from repro.core.penalization import StepPenalization
+from repro.core.sampling import StaticSampler
+from repro.core.smoothing import GaussianSmoother
+from repro.strategies import AttackEngine, build, take
+from repro.strategies.base import AttackContext, GuessBatch, GuessingStrategy
+from repro.strategies.passflow import DynamicStrategy, StaticStrategy
+
+BUDGETS = [200, 600]
+
+
+def rows_of(report):
+    return [(r.guesses, r.unique, r.matched, r.match_percent) for r in report.rows]
+
+
+def legacy(call):
+    """Run a deprecated .attack() while asserting the warning fires."""
+    with pytest.warns(DeprecationWarning):
+        return call()
+
+
+class TestEagerEquivalence:
+    """The engine must reproduce the seed samplers' numbers exactly."""
+
+    def test_static_matches_legacy(self, trained_model, trained_dataset):
+        test_set = trained_dataset.test_set
+        old = legacy(
+            lambda: StaticSampler(trained_model, batch_size=128).attack(
+                test_set, BUDGETS, np.random.default_rng(0)
+            )
+        )
+        new = AttackEngine(test_set, BUDGETS).run(
+            build("passflow:static?batch=128", model=trained_model),
+            np.random.default_rng(0),
+        )
+        assert rows_of(new) == rows_of(old)
+
+    def test_dynamic_matches_legacy(self, trained_model, trained_dataset):
+        test_set = trained_dataset.test_set
+        config = DynamicSamplingConfig(
+            alpha=1, sigma=0.12, phi=StepPenalization(2), batch_size=128
+        )
+        old = legacy(
+            lambda: DynamicSampler(trained_model, config).attack(
+                test_set, BUDGETS, np.random.default_rng(1)
+            )
+        )
+        new = AttackEngine(test_set, BUDGETS).run(
+            build(
+                "passflow:dynamic?alpha=1&batch=128&gamma=2&sigma=0.12",
+                model=trained_model,
+            ),
+            np.random.default_rng(1),
+        )
+        assert rows_of(new) == rows_of(old)
+
+    def test_dynamic_gs_matches_legacy(self, trained_model, trained_dataset):
+        test_set = trained_dataset.test_set
+        config = DynamicSamplingConfig(
+            alpha=1, sigma=0.12, phi=StepPenalization(2), batch_size=128
+        )
+        old = legacy(
+            lambda: DynamicSampler(
+                trained_model, config, smoother=GaussianSmoother(trained_model.encoder)
+            ).attack(test_set, BUDGETS, np.random.default_rng(2))
+        )
+        new = AttackEngine(test_set, BUDGETS).run(
+            build(
+                "passflow:dynamic+gs?alpha=1&batch=128&gamma=2&sigma=0.12",
+                model=trained_model,
+            ),
+            np.random.default_rng(2),
+        )
+        assert rows_of(new) == rows_of(old)
+
+    def test_sampled_model_matches_guessing_attack(self, corpus, trained_dataset):
+        from repro.baselines import MarkovModel
+
+        model = MarkovModel(order=3).fit(corpus[:500])
+        test_set = trained_dataset.test_set
+        old = GuessingAttack(test_set, BUDGETS, batch_size=256).run(
+            model, np.random.default_rng(3), "Markov-3"
+        )
+        new = AttackEngine(test_set, BUDGETS).run(
+            build("markov:3?batch=256", model=model), np.random.default_rng(3)
+        )
+        assert rows_of(new) == rows_of(old)
+        assert new.method == old.method == "Markov-3"
+
+    def test_report_method_defaults_to_strategy_name(self, trained_model, trained_dataset):
+        report = AttackEngine(trained_dataset.test_set, [100]).run(
+            build("passflow:static", model=trained_model), np.random.default_rng(0)
+        )
+        assert report.method == "PassFlow-Static"
+
+
+class TestShims:
+    def test_shim_warns_and_preserves_latent_memory(self, trained_model, trained_dataset):
+        config = DynamicSamplingConfig(alpha=1, sigma=0.12, batch_size=256)
+        sampler = DynamicSampler(trained_model, config)
+        report = legacy(
+            lambda: sampler.attack(
+                trained_dataset.test_set, [600], np.random.default_rng(3)
+            )
+        )
+        assert len(sampler.matched_latents) == report.final().matched
+        assert len(sampler.usage_counts) == len(sampler.matched_latents)
+
+    def test_shim_state_assignment_round_trips(self, trained_model):
+        sampler = DynamicSampler(trained_model)
+        sampler.matched_latents = [np.zeros(10), np.ones(10)]
+        sampler.usage_counts = [0, 0]
+        assert sampler._mixture_prior() is None  # alpha=5 default: below threshold
+        sampler.usage_counts[0] = 7
+        assert sampler.usage_counts == [7, 0]
+
+
+class TestStreamingAndResume:
+    def test_stream_yields_checkpoints_in_order(self, trained_model, trained_dataset):
+        engine = AttackEngine(trained_dataset.test_set, BUDGETS)
+        state = engine.begin()
+        rows = list(
+            engine.stream(
+                build("passflow:static?batch=128", model=trained_model),
+                np.random.default_rng(0),
+                state,
+            )
+        )
+        assert [r.guesses for r in rows] == BUDGETS
+        assert state.done and not state.interrupted
+        assert rows == state.accounting.rows
+
+    def test_max_batches_interrupts_and_resumes(self, trained_model, trained_dataset):
+        engine = AttackEngine(trained_dataset.test_set, BUDGETS)
+        strategy = build("passflow:dynamic?alpha=1&batch=128&sigma=0.12", model=trained_model)
+        state = engine.begin()
+        rng = np.random.default_rng(4)
+        engine.run(strategy, rng, state=state, max_batches=2)
+        assert state.interrupted and not state.done
+        assert state.total_guesses == 256
+        report = engine.run(strategy, rng, state=state, method="PassFlow-Dynamic")
+        assert state.done and not state.interrupted
+        assert [r.guesses for r in report.rows] == BUDGETS
+
+    def test_stop_when_predicate(self, trained_model, trained_dataset):
+        engine = AttackEngine(trained_dataset.test_set, BUDGETS)
+        state = engine.begin()
+        engine.run(
+            build("passflow:static?batch=64", model=trained_model),
+            np.random.default_rng(0),
+            state=state,
+            stop_when=lambda s: s.total_guesses >= 128,
+        )
+        assert state.interrupted
+        assert state.total_guesses == 128
+
+    def test_finished_state_streams_nothing(self, trained_model, trained_dataset):
+        engine = AttackEngine(trained_dataset.test_set, [100])
+        state = engine.begin()
+        strategy = build("passflow:static?batch=64", model=trained_model)
+        engine.run(strategy, np.random.default_rng(0), state=state)
+        assert state.done
+        assert list(engine.stream(strategy, np.random.default_rng(0), state)) == []
+
+    def test_invalid_budgets_fail_at_construction(self, trained_dataset):
+        with pytest.raises(ValueError):
+            AttackEngine(trained_dataset.test_set, [500, 100])
+
+
+class TestTake:
+    def test_take_matches_direct_sampling(self, trained_model):
+        # a static strategy with batch >= count draws the same RNG sequence
+        # as model.sample_passwords
+        got = take(
+            build("passflow:static", model=trained_model),
+            17,
+            np.random.default_rng(9),
+        )
+        expected = trained_model.sample_passwords(17, rng=np.random.default_rng(9))
+        assert got == expected
+
+    def test_take_exact_count_across_batches(self, trained_model):
+        strategy = build("passflow:static?batch=8", model=trained_model)
+        assert len(take(strategy, 21, np.random.default_rng(0))) == 21
+
+    def test_take_zero_and_negative(self, trained_model):
+        strategy = build("passflow:static", model=trained_model)
+        assert take(strategy, 0, np.random.default_rng(0)) == []
+        with pytest.raises(ValueError):
+            take(strategy, -1, np.random.default_rng(0))
+
+    def test_take_unbinds_strategy(self, trained_model):
+        strategy = build("passflow:static?batch=8", model=trained_model)
+        take(strategy, 5, np.random.default_rng(0))
+        assert strategy.context.remaining is None  # standalone again
+
+
+class TestPlainIteratorStrategies:
+    """Protocol tolerance: iter_guesses may return any iterator, not only
+    a generator (generators have close(); plain iterators don't)."""
+
+    class ListStrategy(GuessingStrategy):
+        name = "List"
+
+        def __init__(self, batches):
+            super().__init__(spec="list")
+            self._batches = batches
+
+        def iter_guesses(self, rng):
+            return iter([GuessBatch(list(b)) for b in self._batches])
+
+    def test_engine_accepts_plain_iterator(self):
+        strategy = self.ListStrategy([["a", "b"], ["c", "d"]])
+        report = AttackEngine({"c"}, [4]).run(strategy, np.random.default_rng(0))
+        assert report.final().matched == 1
+
+    def test_take_accepts_plain_iterator(self):
+        strategy = self.ListStrategy([["a", "b"], ["c", "d"]])
+        assert take(strategy, 3, np.random.default_rng(0)) == ["a", "b", "c"]
+
+
+class TestContext:
+    def test_next_count_unbounded(self):
+        assert AttackContext().next_count(64) == 64
+
+    def test_next_count_limited(self):
+        context = AttackContext(limit=100)
+        assert context.next_count(64) == 64
+        context.note(["x"] * 90)
+        assert context.next_count(64) == 10
+        assert "x" in context.seen
+
+    def test_exclusive_modes(self):
+        from repro.core.guesser import GuessAccounting
+
+        with pytest.raises(ValueError):
+            AttackContext(accounting=GuessAccounting({"a"}, [10]), limit=5)
+
+    def test_guess_batch_len_and_iter(self):
+        batch = GuessBatch(["a", "b"])
+        assert len(batch) == 2 and list(batch) == ["a", "b"]
+
+
+class TestConditionalStreaming:
+    def test_conditional_guesses_satisfy_template(self, trained_model):
+        strategy = build(
+            "passflow:conditional?population=32&template=love**", model=trained_model
+        )
+        guesses = take(strategy, 40, np.random.default_rng(6))
+        assert len(guesses) == 40
+        assert all(g.startswith("love") and len(g) == 6 for g in guesses)
