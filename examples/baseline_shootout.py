@@ -8,9 +8,14 @@ Table II methodology across a wider field than the paper.
 Every method is a spec string resolved by ``repro.strategies.build`` and
 streamed through one ``AttackEngine``; pre-trained models are handed to
 ``build`` while the count-based baselines fit themselves from the corpus.
+With ``--workers N`` each attack is instead sharded across N processes by
+a ``ParallelAttackEngine`` (same accounting, merged at the budget
+checkpoints; deterministic for the fixed seeds below).
 
-Run:  python examples/baseline_shootout.py
+Run:  python examples/baseline_shootout.py [--workers 4]
 """
+
+import argparse
 
 import numpy as np
 
@@ -19,12 +24,21 @@ from repro.baselines import CWAE, CWAEConfig, PassGAN, PassGANConfig
 from repro.data import PasswordDataset, SyntheticConfig, SyntheticRockYou
 from repro.data.alphabet import compact_alphabet
 from repro.eval.reporting import format_table
-from repro.strategies import AttackEngine, build
+from repro.runtime import ParallelAttackEngine, StrategySource
+from repro.strategies import AttackEngine
 
 BUDGETS = [1000, 10000, 50000]
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard each attack across N processes (1 = serial engine)",
+    )
+    args = parser.parse_args()
     rng = np.random.default_rng(3)
     alphabet = compact_alphabet()
     corpus = SyntheticRockYou(
@@ -71,15 +85,20 @@ def main() -> None:
             16,
         ),
     ]
-    engine = AttackEngine(test_set, BUDGETS)
     reports = {}
     for name, spec, trained, seed in runs:
-        strategy = build(
+        source = StrategySource(
             spec, model=trained, corpus=baseline_train, alphabet=alphabet
         )
-        reports[name] = engine.run(
-            strategy, np.random.default_rng(seed), method=name
-        )
+        strategy = source.build()  # fits count-based baselines once
+        if args.workers == 1:
+            reports[name] = AttackEngine(test_set, BUDGETS).run(
+                strategy, np.random.default_rng(seed), method=name
+            )
+        else:
+            reports[name] = ParallelAttackEngine(
+                test_set, BUDGETS, workers=args.workers
+            ).run(source.pin(strategy), seed=seed, method=name, label=f"{name}/")
 
     rows = []
     for name, report in reports.items():

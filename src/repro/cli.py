@@ -8,7 +8,8 @@ Every workflow in the library is reachable from the shell::
     python -m repro sample --model model.npz --count 20
     python -m repro attack --model model.npz --corpus corpus.txt \
         --strategy "passflow:dynamic+gs?alpha=1&sigma=0.12" --budgets 1000,10000
-    python -m repro attack --corpus corpus.txt --strategy markov:3
+    python -m repro attack --corpus corpus.txt --strategy markov:3 \
+        --workers 4 --report report.json
     python -m repro strategies
     python -m repro interpolate --model model.npz jimmy91 123456
     python -m repro conditional --model model.npz "love**"
@@ -19,11 +20,18 @@ Every workflow in the library is reachable from the shell::
 (``repro strategies`` lists the families); the bare names ``static``,
 ``dynamic`` and ``dynamic+gs`` remain as shorthands wired to the
 ``--alpha/--sigma/--gamma/--temperature`` flags.
+
+``attack --workers N`` shards the guess budgets across N processes
+(deterministic for a fixed seed and worker count; ``--workers 1``, the
+default, reproduces seed-era reports bit-identically), and
+``attack --report out.json`` writes the full machine-readable
+GuessingReport next to the stdout table.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -31,6 +39,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.conditional import ConditionalGuesser
+from repro.core.guesser import validate_budgets
 from repro.core.interpolation import interpolate
 from repro.core.model import PassFlow, PassFlowConfig
 from repro.core.strength import StrengthEstimator
@@ -40,6 +49,7 @@ from repro.data.encoding import PasswordEncoder
 from repro.data.rockyou import load_password_file
 from repro.data.synthetic import SyntheticConfig, SyntheticRockYou
 from repro.eval.reporting import format_table
+from repro.runtime import ParallelAttackEngine, StrategySource
 from repro.strategies import (
     AttackEngine,
     SpecError,
@@ -49,6 +59,7 @@ from repro.strategies import (
     take,
 )
 from repro.utils.logging import enable_console_logging
+from repro.utils.progress import ProgressReporter
 
 
 def _alphabet(name: str):
@@ -165,6 +176,8 @@ def cmd_attack(args) -> int:
         parsed = parse_spec(spec)
     except SpecError as exc:
         raise SystemExit(str(exc))
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
     model = PassFlow.load(args.model) if args.model else None
     if parsed.family == "passflow" and model is None:
         raise SystemExit("passflow strategies need --model <checkpoint.npz>")
@@ -177,18 +190,43 @@ def cmd_attack(args) -> int:
     train_half = corpus[:split] or corpus
     dataset = PasswordDataset(train_half, corpus[split:], encoder)
     test_set = dataset.test_set
-    budgets = sorted(int(b) for b in args.budgets.split(","))
-    rng = np.random.default_rng(args.seed)
-
     try:
-        strategy = build(spec, model=model, corpus=train_half, alphabet=alphabet)
+        budgets = sorted(int(b) for b in args.budgets.split(",") if b.strip())
+    except ValueError:
+        raise SystemExit("--budgets must be comma-separated integers")
+    try:
+        validate_budgets(budgets)
+    except ValueError as exc:
+        raise SystemExit(f"--budgets: {exc}")
+
+    source = StrategySource(spec, model=model, corpus=train_half, alphabet=alphabet)
+    try:
+        strategy = source.build()
     except SpecError as exc:
         raise SystemExit(str(exc))
+    described = strategy.describe()
+    workers = "" if args.workers == 1 else f" across {args.workers} workers"
     print(
-        f"attacking {len(test_set)} cleaned targets with {strategy.describe()}, "
-        f"budgets {budgets}"
+        f"attacking {len(test_set)} cleaned targets with {described}, "
+        f"budgets {budgets}{workers}"
     )
-    report = AttackEngine(test_set, budgets).run(strategy, rng)
+    progress = ProgressReporter(total=budgets[-1], label="attack")
+    try:
+        if args.workers == 1:
+            # serial path: bit-identical to the seed-era single-process engine
+            report = AttackEngine(test_set, budgets).run(
+                strategy, np.random.default_rng(args.seed), progress=progress
+            )
+        else:
+            engine = ParallelAttackEngine(test_set, budgets, workers=args.workers)
+            report = engine.run(
+                source.pin(strategy),
+                seed=args.seed,
+                method=strategy.name,
+                progress=progress,
+            )
+    except SpecError as exc:
+        raise SystemExit(str(exc))
 
     rows = [
         [row.guesses, row.unique, row.matched, round(row.match_percent, 2)]
@@ -196,6 +234,15 @@ def cmd_attack(args) -> int:
     ]
     print(f"method: {report.method}")
     print(format_table(["guesses", "unique", "matched", "% of test"], rows))
+    if args.report:
+        payload = report.as_dict()
+        payload["budgets"] = budgets
+        payload["seed"] = args.seed
+        payload["workers"] = args.workers
+        payload["strategy"] = described
+        out = Path(args.report)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"report written to {out}")
     return 0
 
 
@@ -320,6 +367,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sigma", type=float, default=0.12)
     p.add_argument("--gamma", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard the attack across N processes (1 = serial, bit-identical "
+        "to seed-era reports; N>1 deterministic for fixed seed and N)",
+    )
+    p.add_argument(
+        "--report",
+        help="write the full GuessingReport (rows + samples) as JSON here",
+    )
     p.set_defaults(func=cmd_attack)
 
     p = sub.add_parser("strategies", help="list the registered strategy families")

@@ -5,12 +5,46 @@ model/sampler, count how many *unique test-set passwords* were matched and
 how many *unique guesses* were produced, at a series of guess budgets
 (Tables II and III).  This module owns that accounting so every sampler and
 baseline reports identically.
+
+The accounting core is the hot path of the whole reproduction -- millions
+of guesses flow through it per attack -- so :meth:`GuessAccounting.observe`
+is batch-vectorized: test-set membership is decided for a whole batch at
+once with a sorted int64 hash array and :func:`numpy.searchsorted`
+(candidate hits are then verified exactly against the real set, so hash
+collisions cannot corrupt a report), and uniqueness bookkeeping runs as
+C-level set operations instead of a per-password Python loop.  The original
+per-password loop survives as :meth:`GuessAccounting.observe_scalar` and is
+the reference the parity tests compare against.
+
+:meth:`GuessAccounting.observe_encoded` is the highest-throughput mode:
+batches arrive as the (N, D) alphabet-index matrices every latent strategy
+produces *before* string decoding, are interned into exact uint64 keys
+(:meth:`repro.data.encoding.PasswordEncoder.pack_indices`), and membership,
+uniqueness and checkpointing all run as integer array operations --
+strings are materialized only for the handful of matches and report
+samples.  An accounting instance locks into string or encoded mode on its
+first observation; the two modes produce identical reports for identical
+guess streams.
+
+For the sharded runtime (:mod:`repro.runtime`) accounting states are
+
+* **mergeable** -- :meth:`GuessAccounting.merge` folds another shard's
+  counters into this one (totals add, unique/matched sets union),
+* **snapshot/restorable** -- :meth:`GuessAccounting.snapshot` captures a
+  picklable :class:`AccountingSnapshot` that
+  :meth:`GuessAccounting.from_snapshot` rebuilds, and
+* **delta-tracked** -- with ``track_deltas=True`` every checkpoint records
+  the uniques/matches added since the previous checkpoint
+  (:class:`CheckpointDelta`), which is what lets a merger reconstruct
+  global Table II/III rows from per-shard streams.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
 
 
 @dataclass
@@ -52,6 +86,97 @@ class GuessingReport:
             raise ValueError("report has no rows")
         return self.rows[-1]
 
+    def as_dict(self) -> Dict[str, object]:
+        """Machine-readable form (``repro attack --report out.json``)."""
+        return {
+            "method": self.method,
+            "test_size": self.test_size,
+            "rows": [row.as_dict() for row in self.rows],
+            "matched_samples": list(self.matched_samples),
+            "non_matched_samples": list(self.non_matched_samples),
+        }
+
+
+@dataclass
+class CheckpointDelta:
+    """Uniques/matches first seen between two consecutive checkpoints.
+
+    Contents are unordered (they are only ever unioned during merges).
+    """
+
+    new_unique: List[str]
+    new_matched: List[str]
+
+
+@dataclass
+class AccountingSnapshot:
+    """Picklable capture of a :class:`GuessAccounting` (minus the test set).
+
+    The test set is deliberately excluded -- it can be millions of entries
+    and is shared by every shard -- so restoring requires passing the same
+    set to :meth:`GuessAccounting.from_snapshot`.
+    """
+
+    budgets: List[int]
+    sample_cap: int
+    total: int
+    unique: List[str]
+    matched: List[str]
+    rows: List[BudgetRow]
+    non_matched_samples: List[str]
+    matched_samples: List[str]
+    next_budget_index: int
+    track_deltas: bool
+    deltas: List[CheckpointDelta]
+    pending_unique: List[str]
+    pending_matched: List[str]
+    mode: Optional[str] = None
+    seen_keys: Optional[np.ndarray] = None
+
+
+def _hash_array(passwords: Iterable[str], count: int) -> np.ndarray:
+    """int64 hashes of ``passwords`` (CPython caches str hashes, so later
+    exact set operations on the same strings re-use this work)."""
+    return np.fromiter(map(hash, passwords), dtype=np.int64, count=count)
+
+
+def _sorted_contains(sorted_array: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Vectorized membership mask of ``values`` against a sorted array."""
+    if sorted_array.size == 0:
+        return np.zeros(len(values), dtype=bool)
+    positions = np.minimum(
+        np.searchsorted(sorted_array, values), sorted_array.size - 1
+    )
+    return sorted_array[positions] == values
+
+
+def validate_budgets(budgets: Sequence[int]) -> List[int]:
+    """The one guess-budget invariant: distinct, ascending, positive.
+
+    Shared by the accounting, the shard planner, and (via a caught
+    ValueError) the CLI, so the rule and its messages live in one place.
+    """
+    if not budgets:
+        raise ValueError("at least one guess budget is required")
+    if sorted(budgets) != list(budgets):
+        raise ValueError("budgets must be sorted ascending")
+    if len(set(budgets)) != len(budgets):
+        raise ValueError("budgets must be distinct")
+    if any(b < 1 for b in budgets):
+        raise ValueError("budgets must be positive")
+    return list(budgets)
+
+
+def extend_samples(destination: List[str], additions: Sequence[str], cap: int) -> None:
+    """Append fresh ``additions`` to a sample list, up to ``cap`` entries."""
+    seen = set(destination)
+    for password in additions:
+        if len(destination) >= cap:
+            return
+        if password not in seen:
+            destination.append(password)
+            seen.add(password)
+
 
 class GuessAccounting:
     """Streaming accounting of generated guesses against a test set.
@@ -67,15 +192,10 @@ class GuessAccounting:
         test_set: Set[str],
         budgets: Sequence[int],
         sample_cap: int = 16,
+        track_deltas: bool = False,
     ) -> None:
-        if not budgets:
-            raise ValueError("at least one guess budget is required")
-        if sorted(budgets) != list(budgets):
-            raise ValueError("budgets must be sorted ascending")
-        if len(set(budgets)) != len(budgets):
-            raise ValueError("budgets must be distinct")
         self.test_set = test_set
-        self.budgets = list(budgets)
+        self.budgets = validate_budgets(budgets)
         self.sample_cap = sample_cap
         self.total = 0
         self.unique: Set[str] = set()
@@ -84,6 +204,25 @@ class GuessAccounting:
         self.non_matched_samples: List[str] = []
         self.matched_samples: List[str] = []
         self._next_budget_index = 0
+        self._track_deltas = bool(track_deltas)
+        self.deltas: List[CheckpointDelta] = []
+        self._pending_unique: Set[str] = set()
+        self._pending_matched: List[str] = []
+        # Sorted hash array backing the vectorized membership test; hash
+        # hits are always verified against the real set, so this is a
+        # filter, never an oracle.
+        if test_set:
+            self._test_hashes: Optional[np.ndarray] = np.sort(
+                _hash_array(test_set, len(test_set))
+            )
+        else:
+            self._test_hashes = None
+        # Encoded ("interned id") mode state: an accounting locks into
+        # string or encoded mode on first observation.
+        self._mode: Optional[str] = None
+        self._packed_test: Optional[np.ndarray] = None
+        self._seen_keys = np.empty(0, dtype=np.uint64)
+        self._pending_keys: List[np.ndarray] = []
 
     @property
     def done(self) -> bool:
@@ -97,8 +236,109 @@ class GuessAccounting:
             return 0
         return self.budgets[-1] - self.total
 
+    def _lock_mode(self, mode: str) -> None:
+        if self._mode is None:
+            self._mode = mode
+        elif self._mode != mode:
+            raise ValueError(
+                f"accounting already observed in {self._mode!r} mode; "
+                f"cannot switch to {mode!r}"
+            )
+
+    def _unique_count(self) -> int:
+        """Distinct guesses so far (exact in both modes)."""
+        if self._mode == "encoded":
+            self._compact_keys()
+            return int(self._seen_keys.size)
+        return len(self.unique)
+
+    @property
+    def mode(self) -> Optional[str]:
+        """``"strings"``, ``"encoded"``, or ``None`` before any observation."""
+        return self._mode
+
+    @property
+    def supports_encoded(self) -> bool:
+        """Whether :meth:`observe_encoded` is usable on this accounting
+        (delta tracking and an existing string-mode history both force the
+        string path)."""
+        return not self._track_deltas and self._mode in (None, "encoded")
+
+    # ------------------------------------------------------------------
+    # vectorized path (the default)
+    # ------------------------------------------------------------------
     def observe(self, passwords: Iterable[str]) -> List[int]:
-        """Account a batch; returns indices (within batch) of new matches."""
+        """Account a batch; returns indices (within batch) of new matches.
+
+        Batch-vectorized: equivalent to :meth:`observe_scalar` item for
+        item (same counters, rows, samples, and returned indices) but runs
+        set membership and uniqueness updates at batch granularity.
+        """
+        self._lock_mode("strings")
+        if self.done:
+            return []
+        batch = passwords if isinstance(passwords, list) else list(passwords)
+        new_match_indices: List[int] = []
+        offset = 0
+        while offset < len(batch) and not self.done:
+            # split at the next budget boundary so every checkpoint row
+            # captures the counters at exactly the crossing guess
+            boundary = self.budgets[self._next_budget_index] - self.total
+            take = min(len(batch) - offset, boundary)
+            self._observe_segment(batch[offset : offset + take], offset, new_match_indices)
+            self.total += take
+            offset += take
+            self._maybe_checkpoint()
+        return new_match_indices
+
+    def _observe_segment(
+        self, segment: List[str], offset: int, new_match_indices: List[int]
+    ) -> None:
+        """Account one budget-aligned slice of a batch (no checkpointing)."""
+        # -- matches: vectorized hash filter, exact verification on hits --
+        if self._test_hashes is not None and segment:
+            hashes = _hash_array(segment, len(segment))
+            hits = np.nonzero(_sorted_contains(self._test_hashes, hashes))[0]
+            for i in hits.tolist():
+                password = segment[i]
+                if password in self.matched or password not in self.test_set:
+                    continue  # repeat match, or a raw hash collision
+                self.matched.add(password)
+                new_match_indices.append(offset + i)
+                if self._track_deltas:
+                    self._pending_matched.append(password)
+                if (
+                    password not in self.unique
+                    and len(self.matched_samples) < self.sample_cap
+                ):
+                    self.matched_samples.append(password)
+        # -- non-matched samples: ordered scan only until the cap fills --
+        if len(self.non_matched_samples) < self.sample_cap:
+            seen_in_scan: Set[str] = set()
+            for password in segment:
+                if len(self.non_matched_samples) >= self.sample_cap:
+                    break
+                if (
+                    password
+                    and password not in seen_in_scan
+                    and password not in self.unique
+                    and password not in self.test_set
+                ):
+                    self.non_matched_samples.append(password)
+                seen_in_scan.add(password)
+        # -- uniqueness: one C-level set union --
+        if self._track_deltas:
+            fresh = set(segment)
+            fresh.difference_update(self.unique)
+            self._pending_unique |= fresh
+        self.unique.update(segment)
+
+    # ------------------------------------------------------------------
+    # scalar reference path (parity tests, Algorithm 1 verbatim)
+    # ------------------------------------------------------------------
+    def observe_scalar(self, passwords: Iterable[str]) -> List[int]:
+        """The original per-password loop; semantics-defining reference."""
+        self._lock_mode("strings")
         new_match_indices: List[int] = []
         for i, password in enumerate(passwords):
             if self.done:
@@ -106,20 +346,144 @@ class GuessAccounting:
             self.total += 1
             if password not in self.unique:
                 self.unique.add(password)
+                if self._track_deltas:
+                    self._pending_unique.add(password)
                 if password in self.test_set:
                     if password not in self.matched:
-                        self.matched.add(password)
-                        new_match_indices.append(i)
-                        if len(self.matched_samples) < self.sample_cap:
-                            self.matched_samples.append(password)
+                        self._note_match(password, i, new_match_indices, sample=True)
                 elif len(self.non_matched_samples) < self.sample_cap and password:
                     self.non_matched_samples.append(password)
             elif password in self.test_set and password not in self.matched:
-                self.matched.add(password)
-                new_match_indices.append(i)
+                self._note_match(password, i, new_match_indices, sample=False)
             self._maybe_checkpoint()
         return new_match_indices
 
+    def _note_match(
+        self, password: str, index: int, out: List[int], sample: bool
+    ) -> None:
+        self.matched.add(password)
+        out.append(index)
+        if self._track_deltas:
+            self._pending_matched.append(password)
+        if sample and len(self.matched_samples) < self.sample_cap:
+            self.matched_samples.append(password)
+
+    # ------------------------------------------------------------------
+    # encoded path (interned uint64 ids; strings only for matches/samples)
+    # ------------------------------------------------------------------
+    def observe_encoded(self, index_matrix: np.ndarray, codec) -> List[int]:
+        """Account a batch given as an (N, D) alphabet-index matrix.
+
+        ``codec`` is a :class:`~repro.data.encoding.PasswordEncoder` (or
+        anything with ``pack_indices`` / ``pack_passwords`` /
+        ``strings_from_indices``).  Rows are interned into exact uint64
+        keys, so membership and uniqueness run entirely on integer arrays;
+        the report is identical to ``observe(codec.strings_from_indices(m))``
+        but skips string materialization for everything except matches and
+        samples.  Not available with ``track_deltas`` (shard workers stream
+        strings); an accounting cannot mix string and encoded observations.
+        """
+        if self._track_deltas:
+            raise NotImplementedError("observe_encoded does not track deltas")
+        self._lock_mode("encoded")
+        index_matrix = np.asarray(index_matrix, dtype=np.int64)
+        if self.done or index_matrix.size == 0:
+            return []
+        index_matrix = np.atleast_2d(index_matrix)
+        keys = codec.pack_indices(index_matrix)
+        if self._packed_test is None:
+            if self.test_set:
+                # targets the codec cannot represent (over-length,
+                # out-of-alphabet) can never be produced by an encoded
+                # stream, so dropping them from the packed filter is exact
+                try:
+                    packable = self.test_set
+                    packed = codec.pack_passwords(packable)
+                except (KeyError, ValueError):
+                    packable = [p for p in self.test_set if codec.can_encode(p)]
+                    packed = codec.pack_passwords(packable)
+                self._packed_test = np.sort(packed)
+            else:
+                self._packed_test = np.empty(0, dtype=np.uint64)
+        new_match_indices: List[int] = []
+        offset = 0
+        while offset < len(keys) and not self.done:
+            boundary = self.budgets[self._next_budget_index] - self.total
+            take = min(len(keys) - offset, boundary)
+            self._observe_keys_segment(
+                keys[offset : offset + take],
+                index_matrix[offset : offset + take],
+                offset,
+                codec,
+                new_match_indices,
+            )
+            self.total += take
+            offset += take
+            self._maybe_checkpoint()
+        return new_match_indices
+
+    def _observe_keys_segment(
+        self,
+        seg_keys: np.ndarray,
+        seg_rows: np.ndarray,
+        offset: int,
+        codec,
+        new_match_indices: List[int],
+    ) -> None:
+        sampling = len(self.non_matched_samples) < self.sample_cap
+        if sampling:
+            # compact so the sample scan can test seenness with one sorted
+            # array; cheap while the cap is still filling (early stream)
+            self._compact_keys()
+        # -- matches: exact interned-id membership, decode hits only --
+        if self._packed_test.size:
+            hits = np.nonzero(_sorted_contains(self._packed_test, seg_keys))[0]
+            if hits.size:
+                hit_strings = codec.strings_from_indices(seg_rows[hits])
+                for i, password in zip(hits.tolist(), hit_strings):
+                    if password in self.matched:
+                        continue
+                    self.matched.add(password)
+                    new_match_indices.append(offset + int(i))
+                    if len(self.matched_samples) < self.sample_cap and not self._key_seen(
+                        seg_keys[i]
+                    ):
+                        self.matched_samples.append(password)
+        # -- non-matched samples: first occurrences of fresh non-test keys --
+        if sampling:
+            first_keys, first_positions = np.unique(seg_keys, return_index=True)
+            wanted = first_keys != 0  # drop the empty password
+            wanted &= ~_sorted_contains(self._packed_test, first_keys)
+            wanted &= ~_sorted_contains(self._seen_keys, first_keys)
+            for i in np.sort(first_positions[wanted]).tolist():
+                if len(self.non_matched_samples) >= self.sample_cap:
+                    break
+                self.non_matched_samples.append(
+                    codec.strings_from_indices(seg_rows[i : i + 1])[0]
+                )
+        self._pending_keys.append(np.array(seg_keys, copy=True))
+
+    def _key_seen(self, key: np.uint64) -> bool:
+        """Was this interned id observed in any *previous* segment?"""
+        if bool(_sorted_contains(self._seen_keys, np.array([key]))[0]):
+            return True
+        return any(bool((block == key).any()) for block in self._pending_keys)
+
+    def _compact_keys(self) -> None:
+        """Fold pending per-batch key arrays into the sorted seen array."""
+        if not self._pending_keys:
+            return
+        new = np.unique(np.concatenate(self._pending_keys))
+        self._pending_keys = []
+        if not self._seen_keys.size:
+            self._seen_keys = new
+            return
+        fresh = new[~_sorted_contains(self._seen_keys, new)]
+        if fresh.size:
+            insert_at = np.searchsorted(self._seen_keys, fresh)
+            self._seen_keys = np.insert(self._seen_keys, insert_at, fresh)
+
+    # ------------------------------------------------------------------
     def _maybe_checkpoint(self) -> None:
         while (
             self._next_budget_index < len(self.budgets)
@@ -130,12 +494,122 @@ class GuessAccounting:
             self.rows.append(
                 BudgetRow(
                     guesses=budget,
-                    unique=len(self.unique),
+                    unique=self._unique_count(),
                     matched=len(self.matched),
                     match_percent=percent,
                 )
             )
             self._next_budget_index += 1
+            if self._track_deltas:
+                self.deltas.append(
+                    CheckpointDelta(
+                        new_unique=list(self._pending_unique),
+                        new_matched=list(self._pending_matched),
+                    )
+                )
+                self._pending_unique = set()
+                self._pending_matched = []
+
+    # ------------------------------------------------------------------
+    # merge / snapshot (the sharded runtime's primitives)
+    # ------------------------------------------------------------------
+    def merge(self, other: "GuessAccounting") -> "GuessAccounting":
+        """Fold another accounting (e.g. a finished shard) into this one.
+
+        Totals add and unique/matched sets union, so overlapping shards
+        are counted correctly (a password guessed by two shards is one
+        unique guess and at most one match).  Sample lists concatenate in
+        argument order up to the cap.  Checkpoint rows for budgets crossed
+        by the *combined* total are emitted with the merged counters --
+        the merge-at-checkpoint discipline -- so only merge states that
+        are aligned on a budget boundary when row history matters
+        (:class:`repro.runtime.ParallelAttackEngine` guarantees this via
+        its shard planner).  Returns ``self``.
+        """
+        if self.budgets != other.budgets:
+            raise ValueError(
+                f"cannot merge accountings with different budgets: "
+                f"{self.budgets} vs {other.budgets}"
+            )
+        modes = {self._mode, other._mode} - {None}
+        if len(modes) == 2:
+            raise ValueError("cannot merge string-mode and encoded-mode accountings")
+        if "encoded" in modes:
+            self._compact_keys()
+            other._compact_keys()
+            self._seen_keys = np.union1d(self._seen_keys, other._seen_keys)
+            self._mode = "encoded"
+            if self._packed_test is None:
+                self._packed_test = other._packed_test
+        elif self._track_deltas:
+            self._pending_unique |= other.unique - self.unique
+            already = set(self._pending_matched)
+            self._pending_matched.extend(
+                p for p in sorted(other.matched - self.matched) if p not in already
+            )
+        self.total += other.total
+        self.unique |= other.unique
+        self.matched |= other.matched
+        self._extend_samples(self.matched_samples, other.matched_samples)
+        self._extend_samples(self.non_matched_samples, other.non_matched_samples)
+        self._maybe_checkpoint()
+        return self
+
+    def _extend_samples(self, mine: List[str], theirs: Sequence[str]) -> None:
+        extend_samples(mine, theirs, self.sample_cap)
+
+    def snapshot(self) -> AccountingSnapshot:
+        """Capture the full mutable state (test set excluded) picklably."""
+        self._compact_keys()
+        return AccountingSnapshot(
+            budgets=list(self.budgets),
+            sample_cap=self.sample_cap,
+            total=self.total,
+            unique=sorted(self.unique),
+            matched=sorted(self.matched),
+            rows=[BudgetRow(**row.as_dict()) for row in self.rows],
+            non_matched_samples=list(self.non_matched_samples),
+            matched_samples=list(self.matched_samples),
+            next_budget_index=self._next_budget_index,
+            track_deltas=self._track_deltas,
+            deltas=[
+                CheckpointDelta(list(d.new_unique), list(d.new_matched))
+                for d in self.deltas
+            ],
+            pending_unique=sorted(self._pending_unique),
+            pending_matched=list(self._pending_matched),
+            mode=self._mode,
+            seen_keys=self._seen_keys.copy() if self._mode == "encoded" else None,
+        )
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: AccountingSnapshot, test_set: Set[str]
+    ) -> "GuessAccounting":
+        """Rebuild an accounting from :meth:`snapshot` and its test set."""
+        accounting = cls(
+            test_set,
+            snapshot.budgets,
+            sample_cap=snapshot.sample_cap,
+            track_deltas=snapshot.track_deltas,
+        )
+        accounting.total = snapshot.total
+        accounting.unique = set(snapshot.unique)
+        accounting.matched = set(snapshot.matched)
+        accounting.rows = [BudgetRow(**row.as_dict()) for row in snapshot.rows]
+        accounting.non_matched_samples = list(snapshot.non_matched_samples)
+        accounting.matched_samples = list(snapshot.matched_samples)
+        accounting._next_budget_index = snapshot.next_budget_index
+        accounting.deltas = [
+            CheckpointDelta(list(d.new_unique), list(d.new_matched))
+            for d in snapshot.deltas
+        ]
+        accounting._pending_unique = set(snapshot.pending_unique)
+        accounting._pending_matched = list(snapshot.pending_matched)
+        accounting._mode = snapshot.mode
+        if snapshot.seen_keys is not None:
+            accounting._seen_keys = np.array(snapshot.seen_keys, dtype=np.uint64)
+        return accounting
 
     def report(self, method: str) -> GuessingReport:
         """Finalize into a :class:`GuessingReport`."""

@@ -14,11 +14,23 @@ dequantization (spreading each symbol's probability mass over its bin);
 :meth:`PasswordEncoder.dequantize` adds uniform noise within the bin, the
 same device Pasquini et al. [33] use for their GAN and the standard practice
 for flows on discrete data.
+
+Decoding is a guessing-attack hot path (every generated guess passes
+through it), so it is batch-vectorized: a character lookup table turns a
+whole (N, D) index matrix into N strings in one numpy pass
+(:meth:`PasswordEncoder.decode_batch`), with the original per-character
+loop kept in :meth:`PasswordEncoder.from_indices` for single passwords.
+
+For the accounting core's interned-id fast path, index rows can be
+*canonicalized* (everything after the first PAD zeroed, so row <-> decoded
+string is a bijection) and bit-packed into single uint64 keys
+(:meth:`PasswordEncoder.pack_indices`), letting set membership over
+millions of guesses run as integer array operations.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -43,6 +55,21 @@ class PasswordEncoder:
         self.max_length = int(max_length)
         self.vocab_size = len(alphabet)  # includes PAD
         self.bin_width = 1.0 / self.vocab_size
+        # vectorized-decode lookup table: index -> character ('' for PAD)
+        self._char_lut = np.array(
+            [alphabet.char_at(i) for i in range(self.vocab_size)], dtype="<U1"
+        )
+        # vectorized-encode lookup table: unicode code point -> index
+        # (-1 marks out-of-alphabet; 0 is PAD / the NUL padding cell)
+        top = max(ord(ch) for ch in alphabet.chars)
+        self._codepoint_lut = np.full(top + 1, -1, dtype=np.int64)
+        self._codepoint_lut[0] = Alphabet.PAD_INDEX
+        for i, ch in enumerate(alphabet.chars):
+            self._codepoint_lut[ord(ch)] = i + 1
+        # interned-id packing: bits per symbol, None when a row of
+        # max_length symbols cannot fit one uint64 key
+        bits = int(self.vocab_size - 1).bit_length()
+        self.pack_bits: Optional[int] = bits if bits * self.max_length <= 64 else None
 
     # ------------------------------------------------------------------
     # string <-> indices
@@ -88,20 +115,137 @@ class PasswordEncoder:
 
     def encode_batch(self, passwords: Iterable[str]) -> np.ndarray:
         """Passwords -> (N, D) float matrix."""
-        rows = [self.to_indices(p) for p in passwords]
-        if not rows:
-            return np.empty((0, self.max_length), dtype=np.float64)
-        return self.indices_to_floats(np.stack(rows))
+        return self.indices_to_floats(self.indices_from_strings(passwords))
+
+    def indices_from_strings(self, passwords: Iterable[str]) -> np.ndarray:
+        """Passwords -> (N, D) index matrix, no per-character Python loop.
+
+        Vectorized equivalent of :meth:`to_indices` per password: raises
+        :class:`ValueError` for over-length passwords and :class:`KeyError`
+        for out-of-alphabet characters, like the scalar path.
+        """
+        passwords = (
+            passwords if isinstance(passwords, (list, tuple)) else list(passwords)
+        )
+        if not passwords:
+            return np.empty((0, self.max_length), dtype=np.int64)
+        raw = np.asarray(passwords)
+        if raw.dtype.kind != "U":
+            raise TypeError("passwords must be strings")
+        if raw.dtype.itemsize // 4 > self.max_length:
+            longest = max(passwords, key=len)
+            raise ValueError(
+                f"password longer than max_length={self.max_length}: {longest!r}"
+            )
+        padded = raw.astype(f"<U{self.max_length}")
+        codepoints = padded.view(np.uint32).reshape(len(passwords), self.max_length)
+        in_table = codepoints < self._codepoint_lut.size
+        indices = np.where(
+            in_table,
+            self._codepoint_lut[np.minimum(codepoints, self._codepoint_lut.size - 1)],
+            -1,
+        )
+        if (indices < 0).any():
+            row, col = np.argwhere(indices < 0)[0]
+            raise KeyError(f"character {passwords[row][col]!r} not in alphabet")
+        if (indices != self._canonical(indices)).any():
+            # a non-PAD index after a PAD cell means an embedded NUL
+            raise KeyError(f"character {Alphabet.PAD_CHAR!r} not in alphabet")
+        # trailing NULs vanish into numpy's U-dtype padding, so 'abc\0'
+        # would otherwise alias 'abc': compare recovered vs true lengths
+        recovered = (indices != Alphabet.PAD_INDEX).sum(axis=1)
+        true_lengths = np.fromiter(map(len, passwords), dtype=np.int64, count=len(passwords))
+        if (recovered != true_lengths).any():
+            raise KeyError(f"character {Alphabet.PAD_CHAR!r} not in alphabet")
+        return indices
 
     def decode(self, values: np.ndarray) -> str:
         """Float feature vector -> password string."""
         return self.from_indices(self.floats_to_indices(values))
 
     def decode_batch(self, values: np.ndarray) -> List[str]:
-        """(N, D) float matrix -> list of passwords."""
+        """(N, D) float matrix -> list of passwords (one vectorized pass)."""
         values = np.atleast_2d(np.asarray(values))
-        index_matrix = self.floats_to_indices(values)
-        return [self.from_indices(row) for row in index_matrix]
+        return self.strings_from_indices(self.floats_to_indices(values))
+
+    def strings_from_indices(self, index_matrix: np.ndarray) -> List[str]:
+        """(N, D) index matrix -> N passwords, no per-character Python loop.
+
+        Vectorized equivalent of :meth:`from_indices` per row: characters
+        after the first PAD are dropped.  Out-of-range indices must have
+        been clipped already (as :meth:`floats_to_indices` guarantees).
+        """
+        index_matrix = np.atleast_2d(np.asarray(index_matrix, dtype=np.int64))
+        if index_matrix.shape[0] == 0:
+            return []
+        chars = self._char_lut[self._canonical(index_matrix)]
+        # (N, D) single-character cells concatenate into one fixed-width
+        # string per row; masked cells are NUL, which only ever appears as
+        # a suffix here and is stripped by the unicode view conversion
+        width = index_matrix.shape[1]
+        return chars.view(f"<U{width}").ravel().tolist()
+
+    @staticmethod
+    def _canonical(index_matrix: np.ndarray) -> np.ndarray:
+        """Zero every position at or after a row's first PAD.
+
+        Distinct raw rows can decode to the same string (decoding stops at
+        the first PAD, so trailing symbols are dead); canonical rows are in
+        bijection with decoded strings.
+        """
+        keep = np.logical_and.accumulate(index_matrix != Alphabet.PAD_INDEX, axis=1)
+        return np.where(keep, index_matrix, Alphabet.PAD_INDEX)
+
+    # ------------------------------------------------------------------
+    # interned ids: canonical rows packed into uint64 keys
+    # ------------------------------------------------------------------
+    def pack_indices(self, index_matrix: np.ndarray) -> np.ndarray:
+        """(N, D) index matrix -> N uint64 keys, one per password.
+
+        Rows are canonicalized first, so ``pack_indices(a) == pack_indices(b)``
+        exactly when the rows decode to the same string: the keys are
+        collision-free interned ids, fit for exact vectorized set
+        membership (:meth:`repro.core.guesser.GuessAccounting.observe_encoded`).
+        Raises :class:`ValueError` when ``alphabet_bits * max_length > 64``
+        (:attr:`pack_bits` is ``None``); callers fall back to strings.
+        """
+        if self.pack_bits is None:
+            raise ValueError(
+                f"cannot pack {self.max_length} symbols of "
+                f"{self.vocab_size}-way alphabet into 64 bits"
+            )
+        index_matrix = np.atleast_2d(np.asarray(index_matrix, dtype=np.int64))
+        canonical = self._canonical(index_matrix).astype(np.uint64)
+        shifts = (
+            np.arange(canonical.shape[1], dtype=np.uint64) * np.uint64(self.pack_bits)
+        )
+        return (canonical << shifts).sum(axis=1, dtype=np.uint64)
+
+    def can_encode(self, password: str) -> bool:
+        """Whether this codec can represent ``password`` at all."""
+        return (
+            len(password) <= self.max_length
+            and Alphabet.PAD_CHAR not in password
+            and self.alphabet.is_representable(password)
+        )
+
+    def pack_passwords(self, passwords: Iterable[str]) -> np.ndarray:
+        """Passwords -> uint64 interned-id keys (one vectorized pass)."""
+        indices = self.indices_from_strings(passwords)
+        if not indices.size:
+            return np.empty(0, dtype=np.uint64)
+        return self.pack_indices(indices)
+
+    def unpack_keys(self, keys: np.ndarray) -> np.ndarray:
+        """uint64 keys -> (N, D) canonical index matrix (pack inverse)."""
+        if self.pack_bits is None:
+            raise ValueError("alphabet/max_length does not support packing")
+        keys = np.asarray(keys, dtype=np.uint64).reshape(-1, 1)
+        shifts = (
+            np.arange(self.max_length, dtype=np.uint64) * np.uint64(self.pack_bits)
+        )
+        mask = np.uint64((1 << self.pack_bits) - 1)
+        return ((keys >> shifts) & mask).astype(np.int64)
 
     def dequantize(self, features: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Add uniform within-bin noise: U(-w/2, w/2) with w = bin width."""

@@ -3,7 +3,10 @@
 The five methods are plain strategy spec strings resolved by
 :meth:`repro.eval.harness.EvalContext.strategy` against the context's
 cached artifacts and streamed through one
-:class:`repro.strategies.AttackEngine` per run.
+:class:`repro.strategies.AttackEngine` per run -- or, when the context was
+built with ``workers > 1`` (``REPRO_ATTACK_WORKERS``), sharded across a
+:class:`repro.runtime.ParallelAttackEngine`.  The serial default keeps
+every table bit-identical to the seed-era reports.
 """
 
 from __future__ import annotations

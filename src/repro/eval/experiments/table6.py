@@ -10,7 +10,6 @@ from __future__ import annotations
 from repro.eval.experiments.common import static_spec
 from repro.eval.harness import EvalContext
 from repro.eval.reporting import ExperimentResult
-from repro.strategies import build
 
 STRATEGIES = ("horizontal", "char-run-2", "char-run-1")
 
@@ -20,11 +19,11 @@ def run(ctx: EvalContext) -> ExperimentResult:
     budgets = ctx.settings.guess_budgets
     results = {}
     for strategy in STRATEGIES:
-        model = ctx.passflow(mask_strategy=strategy)
-        results[strategy] = ctx.engine().run(
-            build(static_spec(ctx), model=model),
-            ctx.attack_rng(f"table6-{strategy}"),
+        results[strategy] = ctx.run_attack(
+            static_spec(ctx),
+            f"table6-{strategy}",
             method=f"PassFlow-{strategy}",
+            model=ctx.passflow(mask_strategy=strategy),
         )
     headers = ["Guesses"] + [f"{s} matched" for s in STRATEGIES]
     rows = []

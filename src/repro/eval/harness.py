@@ -40,7 +40,8 @@ from repro.core.model import PassFlow, PassFlowConfig
 from repro.data.alphabet import Alphabet, compact_alphabet
 from repro.data.dataset import PasswordDataset
 from repro.data.synthetic import SyntheticConfig, SyntheticRockYou
-from repro.strategies import AttackEngine, GuessingStrategy, build, parse_spec
+from repro.runtime import ParallelAttackEngine, StrategySource
+from repro.strategies import AttackEngine, GuessingStrategy, parse_spec
 from repro.utils.logging import get_logger
 from repro.utils.rng import spawn_rng
 
@@ -150,10 +151,25 @@ class EvalContext:
         settings: Optional[BenchmarkSettings] = None,
         cache_dir: Path | str = DEFAULT_CACHE_DIR,
         alphabet: Optional[Alphabet] = None,
+        workers: Optional[int] = None,
     ) -> None:
         self.settings = settings or settings_from_env()
         self.cache_dir = Path(cache_dir)
         self.alphabet = alphabet or compact_alphabet()
+        # attack parallelism: explicit argument, else REPRO_ATTACK_WORKERS,
+        # else serial (workers=1 keeps every report bit-identical to the
+        # seed-era single-process runs)
+        if workers is None:
+            raw = os.environ.get("REPRO_ATTACK_WORKERS", "1")
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_ATTACK_WORKERS must be an integer, got {raw!r}"
+                ) from None
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
         self._corpus: Optional[List[str]] = None
         self._dataset: Optional[PasswordDataset] = None
         self._passflow: Dict[str, PassFlow] = {}
@@ -310,38 +326,71 @@ class EvalContext:
         """A streaming attack engine over this context's test set/budgets."""
         return AttackEngine(self.test_set, self.settings.guess_budgets)
 
-    def strategy(self, spec: str) -> GuessingStrategy:
+    def resolve_model(self, spec: str):
+        """The cached artifact a spec resolves against (None for fit-on-demand)."""
+        parsed = parse_spec(spec)
+        if parsed.family == "passflow":
+            return self.passflow()
+        if parsed.family == "passgan":
+            return self.passgan()
+        if parsed.family == "cwae":
+            return self.cwae()
+        if parsed.family == "markov" and parsed.variant in (None, "3"):
+            return self.markov()
+        if parsed.family == "pcfg":
+            return self.pcfg()
+        return None
+
+    def strategy(self, spec: str, model=None) -> GuessingStrategy:
         """Build a strategy spec using this context's trained artifacts.
 
         ``passflow:*`` specs resolve against the main cached PassFlow;
         baseline specs reuse the cached baseline when it matches the spec
-        and otherwise fit a fresh model on ``baseline_train``.
+        and otherwise fit a fresh model on ``baseline_train``.  Pass
+        ``model`` to pin a specific artifact (e.g. a Table VI mask
+        variant).
         """
-        parsed = parse_spec(spec)
-        model = None
-        if parsed.family == "passflow":
-            model = self.passflow()
-        elif parsed.family == "passgan":
-            model = self.passgan()
-        elif parsed.family == "cwae":
-            model = self.cwae()
-        elif parsed.family == "markov" and parsed.variant in (None, "3"):
-            model = self.markov()
-        elif parsed.family == "pcfg":
-            model = self.pcfg()
-        return build(
-            parsed,
-            model=model,
+        return self.strategy_source(spec, model=model).build()
+
+    def strategy_source(self, spec: str, model=None) -> StrategySource:
+        """The spec as a rebuildable recipe (what shard workers consume)."""
+        return StrategySource(
+            spec,
+            model=model if model is not None else self.resolve_model(spec),
             corpus=self.baseline_train,
             alphabet=self.alphabet,
         )
 
     def run_attack(
-        self, spec: str, label: str, method: Optional[str] = None
+        self,
+        spec: str,
+        label: str,
+        method: Optional[str] = None,
+        model=None,
+        workers: Optional[int] = None,
     ) -> GuessingReport:
-        """One seeded attack run: build the spec, stream it to completion."""
-        return self.engine().run(
-            self.strategy(spec), self.attack_rng(label), method=method
+        """One seeded attack run: build the spec, stream it to completion.
+
+        ``workers`` defaults to the context's parallelism.  The serial
+        path (``workers=1``) reproduces seed-era reports bit-identically;
+        ``workers>1`` shards the budgets through a
+        :class:`~repro.runtime.ParallelAttackEngine` (deterministic for a
+        fixed ``(seed, workers)``, with per-shard RNG streams derived from
+        ``attack-{label}``).
+        """
+        workers = self.workers if workers is None else workers
+        source = self.strategy_source(spec, model=model)
+        if workers <= 1:
+            return self.engine().run(
+                source.build(), self.attack_rng(label), method=method
+            )
+        engine = ParallelAttackEngine(
+            self.test_set, self.settings.guess_budgets, workers=workers
+        )
+        # method=None lets the shard strategies name the report, matching
+        # the serial engine's default (e.g. "Markov-3", not "markov:3")
+        return engine.run(
+            source, seed=self.settings.seed, method=method, label=f"attack-{label}/"
         )
 
     # ------------------------------------------------------------------

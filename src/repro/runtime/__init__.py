@@ -1,0 +1,54 @@
+"""Parallel attack runtime: sharded execution on the mergeable accounting core.
+
+Three layers sit between a strategy spec and a Table II/III report:
+
+* :class:`ShardPlanner` splits the guess-budget schedule evenly across W
+  workers, giving each shard a named RNG stream
+  (``spawn_rng(seed, "shard-i")``) and per-budget marks that sum exactly
+  to the global budgets;
+* :class:`LocalExecutor` (in-process, the deterministic reference) and
+  :class:`ProcessExecutor` (one forked process per shard; strategies are
+  rebuilt in the worker from their registry spec via
+  :class:`StrategySource`) run the shards;
+* :class:`ParallelAttackEngine` merges the shards' checkpoint deltas into
+  the same :class:`~repro.core.guesser.BudgetRow` checkpoints the serial
+  engine emits.
+
+Typical use::
+
+    from repro.runtime import ParallelAttackEngine, StrategySource
+
+    engine = ParallelAttackEngine(test_set, budgets=[10**4, 10**5], workers=4)
+    source = StrategySource("passflow:dynamic+gs?alpha=1&sigma=0.12", model=model)
+    report = engine.run(source, seed=7)
+
+Determinism contract: fixed ``(seed, workers)`` -> bit-identical reports,
+regardless of executor.  ``workers=1`` through the serial
+:class:`~repro.strategies.engine.AttackEngine` path (as the CLI and eval
+harness route it) reproduces seed-era reports bit-identically.
+"""
+
+from repro.runtime.executor import (
+    LocalExecutor,
+    ProcessExecutor,
+    ShardOutcome,
+    ShardTask,
+    StrategySource,
+    execute_shard,
+)
+from repro.runtime.parallel import ParallelAttackEngine, default_executor
+from repro.runtime.planner import ShardPlan, ShardPlanner, split_budget
+
+__all__ = [
+    "LocalExecutor",
+    "ParallelAttackEngine",
+    "ProcessExecutor",
+    "ShardOutcome",
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardTask",
+    "StrategySource",
+    "default_executor",
+    "execute_shard",
+    "split_budget",
+]

@@ -1,0 +1,262 @@
+"""Shard execution backends: in-process reference and multiprocessing.
+
+A shard worker needs three things: a way to build a fresh strategy (every
+shard gets its own instance so feedback state like Dynamic Sampling's
+matched-latent memory stays shard-local), its :class:`ShardPlan`, and the
+shared attack parameters (test set, seed, sample cap).  Workers stream
+their strategy through a delta-tracked
+:class:`~repro.core.guesser.GuessAccounting` and return a picklable
+:class:`ShardOutcome` -- per-checkpoint :class:`CheckpointDelta` payloads
+plus terminal counters -- which the
+:class:`~repro.runtime.parallel.ParallelAttackEngine` merges.
+
+:class:`LocalExecutor` runs shards sequentially in-process and is the
+deterministic reference; :class:`ProcessExecutor` forks one OS process per
+shard (strategies are rebuilt inside the worker from their registry spec
+string via the inherited :class:`StrategySource`; only outcomes cross the
+process boundary).  Both produce bit-identical outcomes for a fixed
+``(seed, workers)``.
+
+Scaling note: delta payloads carry each shard's distinct guesses as
+strings, so the result-queue traffic is O(unique guesses per shard).  At
+repro scale (<=10^6-guess budgets) this is megabytes; pushing budgets
+toward the paper's 10^8 wants deltas transported as packed interned-id
+arrays (and shard accounting run in key space), which is the next step on
+this runtime's roadmap.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Set, Union
+
+from repro.core.guesser import CheckpointDelta, GuessAccounting
+from repro.runtime.planner import ShardPlan
+from repro.strategies.engine import AttackEngine, AttackState
+from repro.strategies.registry import build
+from repro.utils.logging import get_logger
+from repro.utils.progress import ProgressReporter
+
+logger = get_logger("runtime.executor")
+
+
+@dataclass
+class StrategySource:
+    """A recipe for building fresh strategy instances from a spec string.
+
+    Mirrors :func:`repro.strategies.registry.build`'s signature; shard
+    workers call :meth:`build` so every shard owns an isolated strategy
+    (in forked workers the heavy resources -- trained model, corpus --
+    arrive through process inheritance, never pickling).
+    """
+
+    spec: str
+    model: Any = None
+    corpus: Optional[Sequence[str]] = None
+    alphabet: Any = None
+    batch_size: Optional[int] = None
+
+    def build(self):
+        return build(
+            self.spec,
+            model=self.model,
+            corpus=self.corpus,
+            alphabet=self.alphabet,
+            batch_size=self.batch_size,
+        )
+
+    def pin(self, strategy) -> "StrategySource":
+        """Pin a built strategy's fitted model so later builds reuse it.
+
+        Count-based baselines fit themselves from the corpus at build
+        time; pinning the parent's fitted instance before shard fan-out
+        stops every forked worker refitting the same read-only model
+        (fork shares it copy-on-write).  Returns ``self``.
+        """
+        fitted = getattr(strategy, "model", None)
+        if fitted is not None:
+            self.model = fitted
+        return self
+
+
+#: Anything a shard can build a strategy from: a spec-backed source or a
+#: zero-argument factory callable.
+StrategyFactory = Union[StrategySource, Callable[[], Any]]
+
+
+@dataclass
+class ShardTask:
+    """The attack parameters shared by every shard of one run.
+
+    ``progress`` is updated per batch inside the shard loop: in-process
+    shards share the caller's reporter, forked shards update their own
+    copy (each child logs its per-shard rate through the inherited sink).
+    """
+
+    source: StrategyFactory
+    test_set: Set[str]
+    seed: int
+    sample_cap: int = 16
+    label_prefix: str = ""
+    progress: Optional[ProgressReporter] = None
+
+
+@dataclass
+class ShardOutcome:
+    """A finished shard's accounting, ready to merge.
+
+    ``deltas[k]`` holds what the shard added between its local checkpoints
+    ``k-1`` and ``k`` (aligned with ``local_budgets``); ``completed`` is
+    how many local checkpoints were actually reached (all of them unless
+    the strategy's guess stream was finite and ran dry).
+    """
+
+    index: int
+    local_budgets: List[int]
+    deltas: List[CheckpointDelta] = field(default_factory=list)
+    total: int = 0
+    batches: int = 0
+    matched_samples: List[str] = field(default_factory=list)
+    non_matched_samples: List[str] = field(default_factory=list)
+    method: Optional[str] = None  # the shard strategy's display name
+
+    @property
+    def completed(self) -> int:
+        return len(self.deltas)
+
+    def reached(self, mark: int) -> bool:
+        """Did the shard finish every local checkpoint up to ``mark``?"""
+        needed = sum(1 for budget in self.local_budgets if budget <= mark)
+        return self.completed >= needed
+
+
+class _ShardProgress:
+    """Per-batch updates pass through; the run-level reporter closes once
+    in :meth:`~repro.runtime.parallel.ParallelAttackEngine.run`, so a
+    shard finishing must not emit a misleading global 'final' line."""
+
+    def __init__(self, inner: ProgressReporter) -> None:
+        self._inner = inner
+
+    def update(self, increment: int = 1, extra: str = "") -> None:
+        self._inner.update(increment, extra=extra)
+
+    def close(self, extra: str = "") -> None:
+        pass
+
+
+def execute_shard(task: ShardTask, plan: ShardPlan) -> ShardOutcome:
+    """Run one shard to completion (used by both executors)."""
+    local_budgets = plan.local_budgets
+    outcome = ShardOutcome(index=plan.index, local_budgets=local_budgets)
+    if not local_budgets:
+        return outcome  # more workers than guesses at every budget
+    strategy = task.source.build() if isinstance(task.source, StrategySource) else task.source()
+    outcome.method = getattr(strategy, "name", None)
+    accounting = GuessAccounting(
+        task.test_set, local_budgets, sample_cap=task.sample_cap, track_deltas=True
+    )
+    state = AttackState(accounting)
+    engine = AttackEngine(set(), local_budgets, sample_cap=task.sample_cap)
+    rng = plan.rng(task.seed, task.label_prefix)
+    progress = _ShardProgress(task.progress) if task.progress is not None else None
+    for _ in engine.stream(strategy, rng, state, progress=progress):
+        pass
+    outcome.deltas = accounting.deltas
+    outcome.total = accounting.total
+    outcome.batches = state.batches
+    outcome.matched_samples = accounting.matched_samples
+    outcome.non_matched_samples = accounting.non_matched_samples
+    return outcome
+
+
+class LocalExecutor:
+    """Runs shards sequentially in-process: the deterministic reference."""
+
+    def run(self, task: ShardTask, plans: Sequence[ShardPlan]) -> List[ShardOutcome]:
+        return [execute_shard(task, plan) for plan in plans]
+
+
+def _shard_entry(queue, task: ShardTask, plan: ShardPlan) -> None:
+    try:
+        queue.put((plan.index, execute_shard(task, plan), None))
+    except BaseException as exc:  # surface worker failures in the parent
+        try:
+            import pickle
+
+            pickle.dumps(exc)
+            payload = exc  # re-raisable with its original type (e.g. SpecError)
+        except Exception:
+            payload = None
+        queue.put((plan.index, None, (payload, traceback.format_exc())))
+
+
+class ProcessExecutor:
+    """One forked OS process per shard.
+
+    Fork start is required: workers inherit the strategy source's heavy
+    resources (trained model, corpus, test set) by address-space copy, and
+    only the compact :class:`ShardOutcome` crosses the result queue.  On
+    platforms without fork this raises at construction; callers fall back
+    to :class:`LocalExecutor` (identical results, no parallelism).
+    """
+
+    def __init__(self) -> None:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError("ProcessExecutor requires the fork start method")
+        self._context = multiprocessing.get_context("fork")
+
+    def run(self, task: ShardTask, plans: Sequence[ShardPlan]) -> List[ShardOutcome]:
+        queue = self._context.Queue()
+        processes = [
+            self._context.Process(
+                target=_shard_entry, args=(queue, task, plan), daemon=True
+            )
+            for plan in plans
+        ]
+        for process in processes:
+            process.start()
+        outcomes: List[Optional[ShardOutcome]] = [None] * len(plans)
+        failure: Optional[str] = None
+        shard_exception: Optional[BaseException] = None
+        collected = 0
+        idle_rounds_with_dead = 0
+        try:
+            while collected < len(plans) and failure is None:
+                try:
+                    index, outcome, error = queue.get(timeout=1.0)
+                except Exception:  # queue.Empty: check for silently dead workers
+                    dead = [
+                        plan.index
+                        for plan, process in zip(plans, processes)
+                        if not process.is_alive() and outcomes[plan.index] is None
+                    ]
+                    # grace rounds: a just-exited worker's result may still
+                    # be in flight through the queue's feeder pipe
+                    idle_rounds_with_dead = idle_rounds_with_dead + 1 if dead else 0
+                    if idle_rounds_with_dead >= 3:
+                        failure = f"shard(s) {dead} died without reporting a result"
+                    continue
+                idle_rounds_with_dead = 0
+                if error is not None:
+                    shard_exception, trace = error
+                    failure = f"shard {index} failed:\n{trace}"
+                else:
+                    outcomes[index] = outcome
+                    collected += 1
+        finally:
+            for process in processes:
+                if process.is_alive() and failure is not None:
+                    process.terminate()
+                process.join()
+            queue.close()
+        if failure is not None:
+            if shard_exception is not None:
+                # re-raise with the original type so callers can handle it
+                # (e.g. the CLI turning a SpecError into a clean exit)
+                logger.warning("%s", failure)
+                raise shard_exception
+            raise RuntimeError(failure)
+        return [outcome for outcome in outcomes if outcome is not None]

@@ -1,0 +1,173 @@
+"""ParallelAttackEngine: sharded attacks with merge-at-checkpoint rows.
+
+The engine splits the budget schedule over W shards
+(:class:`~repro.runtime.planner.ShardPlanner`), runs each shard's own
+strategy instance on its own RNG stream through an executor, and folds the
+per-checkpoint :class:`~repro.core.guesser.CheckpointDelta` payloads back
+into the same :class:`~repro.core.guesser.BudgetRow` checkpoints the serial
+:class:`~repro.strategies.engine.AttackEngine` emits: at global budget
+``b_j`` every shard has generated exactly its planned mark, so the union of
+their uniques/matches *is* the global accounting state at ``b_j`` guesses.
+
+Determinism: for a fixed ``(seed, workers)`` the report is bit-identical
+across runs and across executors (shard RNG streams are named, merge order
+is shard order).  Reports for different worker counts are equally valid
+Table II/III estimates but not bit-identical to each other -- shard-local
+feedback (Dynamic Sampling's matched-latent memory) and the interleaving
+of guess streams differ.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from repro.core.guesser import BudgetRow, GuessingReport, extend_samples
+from repro.runtime.executor import (
+    LocalExecutor,
+    ProcessExecutor,
+    ShardOutcome,
+    ShardTask,
+    StrategyFactory,
+)
+from repro.runtime.planner import ShardPlan, ShardPlanner
+from repro.utils.logging import get_logger
+from repro.utils.progress import ProgressReporter
+
+logger = get_logger("runtime.parallel")
+
+
+def default_executor(workers: int):
+    """Processes when fork is available and useful, else in-process."""
+    if workers <= 1:
+        return LocalExecutor()
+    try:
+        return ProcessExecutor()
+    except RuntimeError:
+        logger.warning("fork unavailable; running %d shards in-process", workers)
+        return LocalExecutor()
+
+
+class ParallelAttackEngine:
+    """Runs one attack as W merged shards over a shared test set."""
+
+    def __init__(
+        self,
+        test_set: Set[str],
+        budgets: Sequence[int],
+        workers: int = 1,
+        executor=None,
+        sample_cap: int = 16,
+    ) -> None:
+        self.test_set = set(test_set)
+        self.planner = ShardPlanner(budgets, workers)  # validates budgets/workers
+        self.budgets = self.planner.budgets
+        self.workers = self.planner.workers
+        self.executor = executor if executor is not None else default_executor(workers)
+        self.sample_cap = sample_cap
+
+    def run(
+        self,
+        source: StrategyFactory,
+        seed: int,
+        method: Optional[str] = None,
+        label: str = "",
+        progress: Optional[ProgressReporter] = None,
+    ) -> GuessingReport:
+        """Run every shard and merge their accounting into one report.
+
+        ``source`` builds one fresh strategy per shard (a
+        :class:`~repro.runtime.executor.StrategySource` spec recipe, or any
+        zero-argument factory for in-process executors).  Shard ``i``
+        draws from ``spawn_rng(seed, f"{label}shard-{i}")``.
+        """
+        plans = self.planner.plan()
+        task = ShardTask(
+            source=source,
+            test_set=self.test_set,
+            seed=seed,
+            sample_cap=self.sample_cap,
+            label_prefix=label,
+            progress=progress,  # per-batch updates inside each shard loop
+        )
+        outcomes = self.executor.run(task, plans)
+        if len(outcomes) != len(plans):
+            raise RuntimeError(
+                f"executor returned {len(outcomes)} outcomes for {len(plans)} shards"
+            )
+        outcomes = sorted(outcomes, key=lambda outcome: outcome.index)
+        if method is None:
+            shard_methods = [o.method for o in outcomes if o.method]
+            method = shard_methods[0] if shard_methods else self._method_of(source)
+        report = self._merge(plans, outcomes, method)
+        if progress is not None:
+            # forked shards updated their own copies; reconcile the parent's
+            # count before the merged summary line
+            progress.count = max(
+                progress.count, sum(outcome.total for outcome in outcomes)
+            )
+            matched = report.rows[-1].matched if report.rows else 0
+            progress.close(extra=f"{len(outcomes)} shards merged, {matched} matched")
+        return report
+
+    @staticmethod
+    def _method_of(source: StrategyFactory) -> str:
+        spec = getattr(source, "spec", None)
+        return spec if spec is not None else "parallel-attack"
+
+    # ------------------------------------------------------------------
+    def _merge(
+        self,
+        plans: List[ShardPlan],
+        outcomes: List[ShardOutcome],
+        method: str,
+    ) -> GuessingReport:
+        """Fold shard checkpoint deltas into global budget rows."""
+        unique: set = set()
+        matched: set = set()
+        cursors = [0] * len(outcomes)
+        rows: List[BudgetRow] = []
+        test_size = len(self.test_set)
+        for j, budget in enumerate(self.budgets):
+            complete = True
+            for plan, outcome, k in zip(plans, outcomes, range(len(outcomes))):
+                mark = plan.marks[j]
+                if not outcome.reached(mark):
+                    complete = False  # finite strategy ran dry mid-shard
+                    continue
+                while (
+                    cursors[k] < outcome.completed
+                    and outcome.local_budgets[cursors[k]] <= mark
+                ):
+                    delta = outcome.deltas[cursors[k]]
+                    unique.update(delta.new_unique)
+                    matched.update(delta.new_matched)
+                    cursors[k] += 1
+            if not complete:
+                break  # mirror the serial engine: no row for an unreached budget
+            percent = 100.0 * len(matched) / test_size if test_size else 0.0
+            rows.append(
+                BudgetRow(
+                    guesses=budget,
+                    unique=len(unique),
+                    matched=len(matched),
+                    match_percent=percent,
+                )
+            )
+        return GuessingReport(
+            method=method,
+            test_size=test_size,
+            rows=rows,
+            non_matched_samples=self._merge_samples(
+                [outcome.non_matched_samples for outcome in outcomes]
+            ),
+            matched_samples=self._merge_samples(
+                [outcome.matched_samples for outcome in outcomes]
+            ),
+        )
+
+    def _merge_samples(self, per_shard: List[List[str]]) -> List[str]:
+        """Shard-order concatenation up to the cap, duplicates dropped."""
+        merged: List[str] = []
+        for samples in per_shard:
+            extend_samples(merged, samples, self.sample_cap)
+        return merged

@@ -1,0 +1,78 @@
+"""Shard planning: split a guess-budget schedule across W workers.
+
+The planner follows the static-split half of the dynamic-load-balancing
+playbook (Liu, *Dynamic Load Balancing Algorithms in Parallel Adaptive
+FEM*): budgets are divided as evenly as possible up front, every shard
+draws from its own named RNG stream (``spawn_rng(seed, "shard-i")``), and
+imbalance is reconciled by merging accounting states at the shared
+checkpoints rather than by migrating work.
+
+For each global budget ``b`` and shard ``i`` the shard's *mark* is its
+cumulative local quota ``b // W + (1 if i < b % W else 0)``; marks sum to
+``b`` exactly, so when every shard reaches its mark for checkpoint ``j``
+the union of their accounting states is the global state at exactly ``b``
+guesses -- which is how :class:`~repro.runtime.parallel.ParallelAttackEngine`
+reconstructs serial-shaped :class:`~repro.core.guesser.BudgetRow` rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.guesser import validate_budgets
+from repro.utils.rng import spawn_rng
+
+
+def split_budget(budget: int, workers: int, index: int) -> int:
+    """Shard ``index``'s share of ``budget`` under an even split."""
+    base, remainder = divmod(budget, workers)
+    return base + (1 if index < remainder else 0)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One worker's slice of an attack.
+
+    ``marks[j]`` is the shard's cumulative guess quota at global budget
+    ``j``; ``local_budgets`` is the deduplicated positive mark sequence the
+    shard actually runs its accounting over (two global budgets can map to
+    the same local mark when budgets are small relative to the worker
+    count, and a mark of zero means the shard contributes nothing yet).
+    """
+
+    index: int
+    marks: List[int]
+
+    @property
+    def local_budgets(self) -> List[int]:
+        return sorted({mark for mark in self.marks if mark > 0})
+
+    def rng_label(self, prefix: str = "") -> str:
+        """The shard's RNG stream label (``spawn_rng(seed, label)``)."""
+        return f"{prefix}shard-{self.index}"
+
+    def rng(self, seed: int, prefix: str = "") -> np.random.Generator:
+        return spawn_rng(seed, self.rng_label(prefix))
+
+
+class ShardPlanner:
+    """Plans the even split of a budget schedule over ``workers`` shards."""
+
+    def __init__(self, budgets: Sequence[int], workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.budgets = validate_budgets(budgets)
+        self.workers = int(workers)
+
+    def plan(self) -> List[ShardPlan]:
+        """One :class:`ShardPlan` per worker; marks sum to each budget."""
+        return [
+            ShardPlan(
+                index=i,
+                marks=[split_budget(b, self.workers, i) for b in self.budgets],
+            )
+            for i in range(self.workers)
+        ]

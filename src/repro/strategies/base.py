@@ -41,17 +41,41 @@ class GuessBatch:
     data-space floats the passwords were decoded from, when the strategy
     has them; feedback consumers (Dynamic Sampling's matched-latent memory)
     and smoothing read these instead of re-encoding.
+
+    **Encoded batches**: a strategy that never inspects its own guess
+    strings (and never reads ``context.seen``) may yield ``passwords=None``
+    with an ``index_matrix`` (the (N, D) alphabet-index rows) and the
+    ``codec`` that decodes them.  Consumers that can, account the batch as
+    interned ids without ever materializing strings
+    (:meth:`~repro.core.guesser.GuessAccounting.observe_encoded`); everyone
+    else calls :meth:`materialize`.
     """
 
-    passwords: List[str]
+    passwords: Optional[List[str]]
     latents: Optional[np.ndarray] = None
     features: Optional[np.ndarray] = None
+    index_matrix: Optional[np.ndarray] = None
+    codec: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.passwords is None and (self.index_matrix is None or self.codec is None):
+            raise ValueError(
+                "a GuessBatch needs passwords, or an index_matrix plus codec"
+            )
+
+    def materialize(self) -> List[str]:
+        """The batch's password strings (decoded on first use, then kept)."""
+        if self.passwords is None:
+            self.passwords = self.codec.strings_from_indices(self.index_matrix)
+        return self.passwords
 
     def __len__(self) -> int:
-        return len(self.passwords)
+        if self.passwords is not None:
+            return len(self.passwords)
+        return len(self.index_matrix)
 
     def __iter__(self) -> Iterator[str]:
-        return iter(self.passwords)
+        return iter(self.materialize())
 
 
 class AttackContext:

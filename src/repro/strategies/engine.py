@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.guesser import BudgetRow, GuessAccounting, GuessingReport
 from repro.strategies.base import AttackContext, GuessingStrategy
+from repro.utils.progress import ProgressReporter
 
 
 def _close_iterator(iterator) -> None:
@@ -96,6 +97,7 @@ class AttackEngine:
         state: AttackState,
         max_batches: Optional[int] = None,
         stop_when: Optional[Callable[[AttackState], bool]] = None,
+        progress: Optional[ProgressReporter] = None,
     ) -> Iterator[BudgetRow]:
         """Drive the strategy, yielding each budget checkpoint as crossed.
 
@@ -103,6 +105,8 @@ class AttackEngine:
         itself, ``max_batches`` additional batches were consumed, or
         ``stop_when(state)`` turns true; the last two set
         ``state.interrupted`` so callers know the run can be resumed.
+        A ``progress`` reporter receives a rate-limited update per batch
+        (guesses/sec plus the running match count).
         """
         accounting = state.accounting
         if accounting.done:
@@ -112,12 +116,47 @@ class AttackEngine:
         emitted = len(accounting.rows)
         strategy.bind(AttackContext(accounting=accounting))
         generator = strategy.iter_guesses(rng)
+        stream_codec = None
         try:
             for batch in generator:
-                new_matches = accounting.observe(batch.passwords)
+                observed_before = accounting.total
+                if batch.passwords is None and accounting.supports_encoded:
+                    # interned-id fast path: strings never materialize
+                    stream_codec = batch.codec
+                    new_matches = accounting.observe_encoded(
+                        batch.index_matrix, batch.codec
+                    )
+                elif accounting.mode == "encoded":
+                    # a string batch after encoded ones (e.g. a custom
+                    # strategy's fallback round): re-encode with the
+                    # stream's codec rather than crash on the mode lock
+                    if stream_codec is None:
+                        raise ValueError(
+                            "cannot resume an encoded attack with a string "
+                            "batch before any encoded batch supplies a codec"
+                        )
+                    try:
+                        new_matches = accounting.observe_encoded(
+                            stream_codec.indices_from_strings(batch.materialize()),
+                            stream_codec,
+                        )
+                    except (KeyError, ValueError) as exc:
+                        raise ValueError(
+                            "strategy mixed an unencodable string batch into "
+                            f"an encoded guess stream: {exc}"
+                        ) from exc
+                else:
+                    new_matches = accounting.observe(batch.materialize())
                 state.batches += 1
                 if new_matches:
                     strategy.on_matches(batch, new_matches)
+                if progress is not None:
+                    progress.update(
+                        accounting.total - observed_before,
+                        extra=f"{state.matched} matched",
+                    )
+                    if accounting.done:
+                        progress.close(extra=f"{state.matched} matched")
                 while emitted < len(accounting.rows):
                     yield accounting.rows[emitted]
                     emitted += 1
@@ -129,6 +168,9 @@ class AttackEngine:
                 if stop_when is not None and stop_when(state):
                     state.interrupted = True
                     return
+            if progress is not None:
+                # strategy ran dry before the final budget
+                progress.close(extra=f"{state.matched} matched")
         finally:
             _close_iterator(generator)
             strategy.bind(None)
@@ -141,11 +183,17 @@ class AttackEngine:
         state: Optional[AttackState] = None,
         max_batches: Optional[int] = None,
         stop_when: Optional[Callable[[AttackState], bool]] = None,
+        progress: Optional[ProgressReporter] = None,
     ) -> GuessingReport:
         """Run (or resume, via ``state``) an attack and return the report."""
         state = state if state is not None else self.begin()
         for _ in self.stream(
-            strategy, rng, state, max_batches=max_batches, stop_when=stop_when
+            strategy,
+            rng,
+            state,
+            max_batches=max_batches,
+            stop_when=stop_when,
+            progress=progress,
         ):
             pass
         return state.report(method or strategy.name)
@@ -171,8 +219,9 @@ def take(
     generator = strategy.iter_guesses(rng)
     try:
         for batch in generator:
-            out.extend(batch.passwords)
-            context.note(batch.passwords)
+            passwords = batch.materialize()
+            out.extend(passwords)
+            context.note(passwords)
             if len(out) >= count:
                 break
     finally:

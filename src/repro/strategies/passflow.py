@@ -103,12 +103,35 @@ class StaticStrategy(GuessingStrategy):
                 return
             latents = self.model.sample_latents(count, rng=rng, prior=self.prior)
             features = self.model.decode_latents_to_features(latents)
+            encoded = _encoded_batch(self.model, self.smoother, latents, features)
+            if encoded is not None:
+                yield encoded
+                continue
             passwords = self.model.encoder.decode_batch(features)
             if self.smoother is not None:
                 passwords = self.smoother.smooth(
                     passwords, features, self.context.seen, rng
                 )
             yield GuessBatch(passwords, latents=latents, features=features)
+
+
+def _encoded_batch(model, smoother, latents, features) -> Optional[GuessBatch]:
+    """An interned-id batch when strings are provably not needed.
+
+    Smoothing consumes and rewrites the strings (and reads the seen set),
+    so only smoother-free streams qualify; wide alphabets that cannot pack
+    a row into 64 bits fall back to strings as well.
+    """
+    encoder = model.encoder
+    if smoother is not None or encoder.pack_bits is None:
+        return None
+    return GuessBatch(
+        None,
+        latents=latents,
+        features=features,
+        index_matrix=encoder.floats_to_indices(features),
+        codec=encoder,
+    )
 
 
 class DynamicStrategy(GuessingStrategy):
@@ -188,6 +211,10 @@ class DynamicStrategy(GuessingStrategy):
             if prior is not None:
                 self._note_usage()
             features = self.model.decode_latents_to_features(latents)
+            encoded = _encoded_batch(self.model, self.smoother, latents, features)
+            if encoded is not None:
+                yield encoded
+                continue
             passwords = self.model.encoder.decode_batch(features)
             if self.smoother is not None:
                 passwords = self.smoother.smooth(

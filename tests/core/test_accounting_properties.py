@@ -66,3 +66,40 @@ def test_batched_equals_streamed(stream, batch_size):
     assert streamed.total == batched.total
     assert streamed.unique == batched.unique
     assert streamed.matched == batched.matched
+
+
+@given(passwords, budget_layout, st.integers(min_value=1, max_value=50))
+@settings(max_examples=60, deadline=None)
+def test_vectorized_equals_scalar(stream, budgets, batch_size):
+    """The batch-vectorized path is item-for-item the per-password loop."""
+    test_set = {"abc1", "ca", "123"}
+    vectorized = GuessAccounting(set(test_set), budgets, sample_cap=4)
+    scalar = GuessAccounting(set(test_set), budgets, sample_cap=4)
+    for start in range(0, len(stream), batch_size):
+        batch = stream[start : start + batch_size]
+        assert vectorized.observe(batch) == scalar.observe_scalar(batch)
+    assert vectorized.total == scalar.total
+    assert vectorized.unique == scalar.unique
+    assert vectorized.matched == scalar.matched
+    assert vectorized.rows == scalar.rows
+    assert vectorized.matched_samples == scalar.matched_samples
+    assert vectorized.non_matched_samples == scalar.non_matched_samples
+
+
+@given(passwords, passwords, budget_layout)
+@settings(max_examples=40, deadline=None)
+def test_merge_is_union(stream_a, stream_b, budgets):
+    """Merged shard counters equal one accounting over both streams' sets."""
+    test_set = {"abc1", "ca", "123"}
+    shard_a = GuessAccounting(set(test_set), budgets)
+    shard_b = GuessAccounting(set(test_set), budgets)
+    shard_a.observe(stream_a)
+    shard_b.observe(stream_b)
+    observed_a, observed_b = shard_a.total, shard_b.total
+    shard_a.merge(shard_b)
+    assert shard_a.total == observed_a + observed_b
+    reference = GuessAccounting(set(test_set), [10**6])
+    reference.observe(stream_a[:observed_a])
+    reference.observe(stream_b[:observed_b])
+    assert shard_a.unique == reference.unique
+    assert shard_a.matched == reference.matched

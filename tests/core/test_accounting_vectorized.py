@@ -1,0 +1,263 @@
+"""The vectorized/encoded accounting paths against the scalar reference.
+
+Three contracts guard the parallel runtime's foundation:
+
+* ``observe`` (batch-vectorized) is item-for-item equivalent to
+  ``observe_scalar`` (the seed per-password loop),
+* ``observe_encoded`` (interned uint64 ids) is equivalent to ``observe``
+  over the decoded strings,
+* ``merge`` and ``snapshot``/``from_snapshot`` preserve counters under
+  overlapping shards and pickling.
+"""
+
+import pickle
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.guesser import AccountingSnapshot, GuessAccounting
+from repro.data.alphabet import compact_alphabet
+from repro.data.encoding import PasswordEncoder
+
+POOL = [f"pw{i}" for i in range(400)] + ["", "hit1", "hit2", "hit3"]
+
+
+def random_case(rng):
+    test_set = set(rng.sample(POOL, rng.randint(0, 30)))
+    budgets = sorted(rng.sample(range(1, 400), rng.randint(1, 4)))
+    stream = [rng.choice(POOL) for _ in range(rng.randint(0, 450))]
+    return test_set, budgets, stream
+
+
+def drive(accounting, stream, rng, method):
+    indices, start = [], 0
+    observe = getattr(accounting, method)
+    while start < len(stream):
+        size = rng.randint(1, 64)
+        indices.extend(
+            i + start for i in observe(stream[start : start + size])
+        )
+        start += size
+    return indices
+
+
+def state_of(accounting):
+    return {
+        "total": accounting.total,
+        "unique": set(accounting.unique),
+        "matched": set(accounting.matched),
+        "rows": [row.as_dict() for row in accounting.rows],
+        "matched_samples": list(accounting.matched_samples),
+        "non_matched_samples": list(accounting.non_matched_samples),
+    }
+
+
+class TestScalarVectorizedEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_streams(self, seed):
+        rng = random.Random(seed)
+        for _ in range(25):
+            test_set, budgets, stream = random_case(rng)
+            vectorized = GuessAccounting(set(test_set), budgets, sample_cap=5)
+            scalar = GuessAccounting(set(test_set), budgets, sample_cap=5)
+            batch_rng = random.Random(seed + 1)
+            iv = drive(vectorized, stream, batch_rng, "observe")
+            batch_rng = random.Random(seed + 1)
+            isc = drive(scalar, stream, batch_rng, "observe_scalar")
+            assert iv == isc
+            assert state_of(vectorized) == state_of(scalar)
+
+    def test_deltas_match_scalar(self):
+        rng = random.Random(3)
+        test_set, budgets, stream = random_case(rng)
+        a = GuessAccounting(set(test_set), budgets, track_deltas=True)
+        b = GuessAccounting(set(test_set), budgets, track_deltas=True)
+        a.observe(stream)
+        b.observe_scalar(stream)
+        assert len(a.deltas) == len(b.deltas) == len(a.rows)
+        for da, db in zip(a.deltas, b.deltas):
+            assert sorted(da.new_unique) == sorted(db.new_unique)
+            assert sorted(da.new_matched) == sorted(db.new_matched)
+
+    def test_delta_union_reconstructs_rows(self):
+        acc = GuessAccounting({"hit1", "hit2"}, [50, 120, 300], track_deltas=True)
+        acc.observe([random.Random(9).choice(POOL) for _ in range(400)])
+        unique, matched = set(), set()
+        for row, delta in zip(acc.rows, acc.deltas):
+            unique.update(delta.new_unique)
+            matched.update(delta.new_matched)
+            assert row.unique == len(unique)
+            assert row.matched == len(matched)
+
+    def test_mid_batch_checkpoint_split(self):
+        acc = GuessAccounting({"c"}, [2, 5])
+        acc.observe(["a", "b", "c", "c", "d", "e", "f"])
+        assert [r.guesses for r in acc.rows] == [2, 5]
+        assert acc.rows[0].unique == 2
+        assert acc.rows[1].matched == 1
+        assert acc.total == 5  # stops at the final budget mid-batch
+
+
+class TestEncodedEquivalence:
+    @pytest.fixture(scope="class")
+    def codec(self):
+        return PasswordEncoder(compact_alphabet())
+
+    def test_random_index_streams(self, codec):
+        rng = np.random.default_rng(5)
+        for _ in range(12):
+            n = int(rng.integers(50, 1200))
+            index_matrix = rng.integers(0, codec.vocab_size, size=(n, 10))
+            index_matrix[rng.integers(0, n, size=2)] = 0  # empty passwords
+            strings = codec.strings_from_indices(index_matrix)
+            test_set = set(
+                rng.choice([s for s in strings if s], size=15, replace=False).tolist()
+            )
+            budgets = sorted(set(rng.integers(1, n + 40, size=3).tolist()))
+            encoded = GuessAccounting(set(test_set), budgets, sample_cap=5)
+            stringy = GuessAccounting(set(test_set), budgets, sample_cap=5)
+            got, want, start = [], [], 0
+            while start < n:
+                size = int(rng.integers(1, 257))
+                got += [
+                    i + start
+                    for i in encoded.observe_encoded(
+                        index_matrix[start : start + size], codec
+                    )
+                ]
+                want += [
+                    i + start
+                    for i in stringy.observe(strings[start : start + size])
+                ]
+                start += size
+            assert got == want
+            assert encoded.matched == stringy.matched
+            assert [r.as_dict() for r in encoded.rows] == [
+                r.as_dict() for r in stringy.rows
+            ]
+            assert encoded.matched_samples == stringy.matched_samples
+            assert encoded.non_matched_samples == stringy.non_matched_samples
+
+    def test_unencodable_test_targets_are_skipped_not_fatal(self, codec):
+        """Real test sets contain targets the codec cannot represent."""
+        encodable = "love12"
+        test_set = {
+            encodable,
+            "far-too-long-password",  # over max_length
+            "has spaces!",  # out-of-alphabet characters
+        }
+        acc = GuessAccounting(set(test_set), [10])
+        rows = np.stack([codec.to_indices(encodable), codec.to_indices("miss1")])
+        matches = acc.observe_encoded(rows, codec)
+        assert matches == [0]
+        assert acc.matched == {encodable}
+        # percent is still relative to the full test set
+        assert acc.rows == [] and acc.test_set == test_set
+
+    def test_mode_locking(self, codec):
+        acc = GuessAccounting(set(), [10])
+        acc.observe(["a"])
+        with pytest.raises(ValueError):
+            acc.observe_encoded(np.zeros((1, 10), dtype=np.int64), codec)
+        acc2 = GuessAccounting(set(), [10])
+        acc2.observe_encoded(np.zeros((1, 10), dtype=np.int64), codec)
+        with pytest.raises(ValueError):
+            acc2.observe(["a"])
+
+    def test_encoded_rejects_delta_tracking(self, codec):
+        acc = GuessAccounting(set(), [10], track_deltas=True)
+        with pytest.raises(NotImplementedError):
+            acc.observe_encoded(np.zeros((1, 10), dtype=np.int64), codec)
+
+    def test_empty_batches_observe_nothing(self, codec):
+        acc = GuessAccounting({"abc"}, [5])
+        for empty in (np.empty((0,), dtype=np.int64), np.empty((0, 10), dtype=np.int64)):
+            assert acc.observe_encoded(empty, codec) == []
+        assert acc.total == 0
+        stringy = GuessAccounting({"abc"}, [5])
+        assert stringy.observe([]) == [] and stringy.total == 0
+
+
+class TestMerge:
+    def test_overlapping_shards(self):
+        test_set = {"hit1", "hit2", "hit3"}
+        shard_a = GuessAccounting(set(test_set), [100])
+        shard_b = GuessAccounting(set(test_set), [100])
+        shard_a.observe(["pw1", "pw2", "hit1", "pw3"])
+        shard_b.observe(["pw2", "hit1", "hit2", "pw4"])
+        shard_a.merge(shard_b)
+        assert shard_a.total == 8  # totals add even for overlapping guesses
+        assert shard_a.unique == {"pw1", "pw2", "pw3", "pw4", "hit1", "hit2"}
+        assert shard_a.matched == {"hit1", "hit2"}
+
+    def test_merge_emits_crossed_checkpoints(self):
+        shard_a = GuessAccounting({"x"}, [6])
+        shard_b = GuessAccounting({"x"}, [6])
+        shard_a.observe(["a", "b", "c"])
+        shard_b.observe(["c", "x", "d"])
+        assert shard_a.rows == []
+        shard_a.merge(shard_b)
+        assert len(shard_a.rows) == 1
+        row = shard_a.rows[0]
+        assert (row.guesses, row.unique, row.matched) == (6, 5, 1)
+
+    def test_merge_requires_same_budgets(self):
+        with pytest.raises(ValueError):
+            GuessAccounting(set(), [10]).merge(GuessAccounting(set(), [20]))
+
+    def test_merge_rejects_mixed_modes(self):
+        codec = PasswordEncoder(compact_alphabet())
+        stringy = GuessAccounting(set(), [10])
+        stringy.observe(["a"])
+        encoded = GuessAccounting(set(), [10])
+        encoded.observe_encoded(np.ones((1, 10), dtype=np.int64), codec)
+        with pytest.raises(ValueError):
+            stringy.merge(encoded)
+
+    def test_merge_encoded_unique_union(self):
+        codec = PasswordEncoder(compact_alphabet())
+        rng = np.random.default_rng(0)
+        rows_a = rng.integers(0, codec.vocab_size, size=(40, 10))
+        rows_b = np.concatenate(
+            [rows_a[:20], rng.integers(0, codec.vocab_size, size=(20, 10))]
+        )
+        a = GuessAccounting(set(), [100])
+        b = GuessAccounting(set(), [100])
+        reference = GuessAccounting(set(), [100])
+        a.observe_encoded(rows_a, codec)
+        b.observe_encoded(rows_b, codec)
+        reference.observe_encoded(np.concatenate([rows_a, rows_b]), codec)
+        a.merge(b)
+        assert a.total == 80
+        assert a._unique_count() == reference._unique_count()
+
+    def test_sample_merge_caps_and_dedupes(self):
+        a = GuessAccounting(set(), [100], sample_cap=3)
+        b = GuessAccounting(set(), [100], sample_cap=3)
+        a.observe(["s1", "s2"])
+        b.observe(["s2", "s3", "s4", "s5"])
+        a.merge(b)
+        assert a.non_matched_samples == ["s1", "s2", "s3"]
+
+
+class TestSnapshot:
+    def test_round_trip_preserves_everything(self):
+        test_set = {"hit1", "hit2"}
+        acc = GuessAccounting(set(test_set), [5, 20], sample_cap=4, track_deltas=True)
+        acc.observe(["a", "hit1", "b", "a", "c", "d", "hit2"])
+        snapshot = pickle.loads(pickle.dumps(acc.snapshot()))
+        assert isinstance(snapshot, AccountingSnapshot)
+        restored = GuessAccounting.from_snapshot(snapshot, set(test_set))
+        assert state_of(restored) == state_of(acc)
+        assert restored.done == acc.done
+        # the restored accounting keeps observing identically
+        tail = ["e", "f", "hit2", "g"]
+        acc.observe(tail)
+        restored.observe(tail)
+        assert state_of(restored) == state_of(acc)
+        assert len(restored.deltas) == len(acc.deltas)
+
+    def test_budget_validation_still_applies(self):
+        with pytest.raises(ValueError):
+            GuessAccounting(set(), [0, 10])

@@ -61,6 +61,84 @@ class TestFloatCodec:
             PasswordEncoder(default_alphabet(), max_length=0)
 
 
+class TestVectorizedCodec:
+    """The batch paths must be index-for-index the scalar loops."""
+
+    def test_strings_from_indices_matches_scalar(self, encoder):
+        rng = np.random.default_rng(0)
+        index_matrix = rng.integers(0, encoder.vocab_size, size=(500, 10))
+        expected = [encoder.from_indices(row) for row in index_matrix]
+        assert encoder.strings_from_indices(index_matrix) == expected
+
+    def test_indices_from_strings_matches_scalar(self, encoder):
+        rng = np.random.default_rng(1)
+        index_matrix = rng.integers(0, encoder.vocab_size, size=(200, 10))
+        passwords = [encoder.from_indices(row) for row in index_matrix]
+        expected = np.stack([encoder.to_indices(p) for p in passwords])
+        assert (encoder.indices_from_strings(passwords) == expected).all()
+
+    def test_indices_from_strings_validation(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.indices_from_strings(["x" * 11])
+        with pytest.raises(KeyError):
+            encoder.indices_from_strings(["abc\tdef"])
+        with pytest.raises(KeyError):
+            encoder.indices_from_strings(["ab\x00c"])  # embedded NUL
+        with pytest.raises(KeyError):
+            # trailing NUL must not alias the NUL-free password
+            encoder.indices_from_strings(["abc\x00"])
+        assert encoder.indices_from_strings([]).shape == (0, 10)
+
+    def test_empty_decode_batch(self, encoder):
+        assert encoder.strings_from_indices(np.empty((0, 10), dtype=np.int64)) == []
+
+
+class TestInternedIds:
+    @pytest.fixture
+    def packer(self):
+        return PasswordEncoder(compact_alphabet(), max_length=10)
+
+    def test_keys_biject_with_decoded_strings(self, packer):
+        rng = np.random.default_rng(2)
+        index_matrix = rng.integers(0, packer.vocab_size, size=(2000, 10))
+        keys = packer.pack_indices(index_matrix).tolist()
+        strings = packer.strings_from_indices(index_matrix)
+        key_to_string, string_to_key = {}, {}
+        for key, string in zip(keys, strings):
+            assert key_to_string.setdefault(key, string) == string
+            assert string_to_key.setdefault(string, key) == key
+
+    def test_pack_passwords_agrees_with_pack_indices(self, packer):
+        passwords = ["love12", "a", "", "zzzz999zz"]
+        via_strings = packer.pack_passwords(passwords)
+        via_indices = packer.pack_indices(
+            np.stack([packer.to_indices(p) for p in passwords])
+        )
+        assert via_strings.tolist() == via_indices.tolist()
+
+    def test_unpack_inverts_pack(self, packer):
+        rng = np.random.default_rng(3)
+        index_matrix = rng.integers(0, packer.vocab_size, size=(100, 10))
+        canonical = packer._canonical(index_matrix)
+        assert (packer.unpack_keys(packer.pack_indices(index_matrix)) == canonical).all()
+
+    def test_junk_after_pad_packs_identically(self, packer):
+        clean = packer.to_indices("hi")
+        dirty = clean.copy()
+        dirty[5] = packer.alphabet.index_of("z")
+        assert (
+            packer.pack_indices(clean[None, :]) == packer.pack_indices(dirty[None, :])
+        ).all()
+
+    def test_wide_alphabet_refuses_packing(self):
+        wide = PasswordEncoder(default_alphabet(), max_length=10)
+        assert wide.pack_bits is None
+        with pytest.raises(ValueError):
+            wide.pack_indices(np.zeros((1, 10), dtype=np.int64))
+        # narrower max_length fits again
+        assert PasswordEncoder(default_alphabet(), max_length=9).pack_bits is not None
+
+
 class TestDequantization:
     def test_dequantize_preserves_decoding(self, encoder):
         rng = np.random.default_rng(0)

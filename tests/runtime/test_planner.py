@@ -1,0 +1,55 @@
+"""ShardPlanner: budget splits, marks, and local budget schedules."""
+
+import pytest
+
+from repro.runtime.planner import ShardPlan, ShardPlanner, split_budget
+
+
+class TestSplitBudget:
+    def test_even(self):
+        assert [split_budget(9, 3, i) for i in range(3)] == [3, 3, 3]
+
+    def test_remainder_goes_to_low_indices(self):
+        assert [split_budget(10, 4, i) for i in range(4)] == [3, 3, 2, 2]
+
+    def test_more_workers_than_budget(self):
+        shares = [split_budget(2, 5, i) for i in range(5)]
+        assert shares == [1, 1, 0, 0, 0]
+
+
+class TestPlanner:
+    def test_marks_sum_to_budgets(self):
+        budgets = [7, 100, 1234]
+        for workers in (1, 2, 3, 8, 50, 2000):
+            plans = ShardPlanner(budgets, workers).plan()
+            assert len(plans) == workers
+            for j, budget in enumerate(budgets):
+                assert sum(plan.marks[j] for plan in plans) == budget
+
+    def test_marks_non_decreasing(self):
+        for plan in ShardPlanner([5, 50, 500], 7).plan():
+            assert plan.marks == sorted(plan.marks)
+
+    def test_local_budgets_deduped_and_positive(self):
+        plan = ShardPlan(index=3, marks=[0, 1, 1, 4])
+        assert plan.local_budgets == [1, 4]
+
+    def test_rng_labels_are_per_shard(self):
+        plans = ShardPlanner([10], 3).plan()
+        labels = {plan.rng_label() for plan in plans}
+        assert labels == {"shard-0", "shard-1", "shard-2"}
+        assert plans[1].rng_label("attack-x/") == "attack-x/shard-1"
+
+    def test_rng_streams_differ(self):
+        plans = ShardPlanner([10], 2).plan()
+        a = plans[0].rng(seed=7).integers(0, 10**9)
+        b = plans[1].rng(seed=7).integers(0, 10**9)
+        assert a != b
+
+    @pytest.mark.parametrize(
+        "budgets,workers",
+        [([], 1), ([10, 5], 2), ([5, 5], 2), ([0, 10], 2), ([10], 0)],
+    )
+    def test_validation(self, budgets, workers):
+        with pytest.raises(ValueError):
+            ShardPlanner(budgets, workers)

@@ -250,6 +250,119 @@ class TestContext:
         assert len(batch) == 2 and list(batch) == ["a", "b"]
 
 
+class TestEncodedBatches:
+    """Smoother-free passflow strategies stream interned ids, not strings."""
+
+    def test_static_yields_encoded_batches(self, trained_model):
+        strategy = build("passflow:static?batch=32", model=trained_model)
+        batch = next(strategy.iter_guesses(np.random.default_rng(0)))
+        assert batch.passwords is None
+        assert batch.index_matrix is not None and batch.codec is trained_model.encoder
+        assert len(batch) == 32
+        assert batch.materialize() == trained_model.encoder.strings_from_indices(
+            batch.index_matrix
+        )
+
+    def test_smoothed_strategies_yield_strings(self, trained_model):
+        strategy = build("passflow:static?gs=true&batch=32", model=trained_model)
+        batch = next(strategy.iter_guesses(np.random.default_rng(0)))
+        assert batch.passwords is not None
+
+    def test_encoded_report_identical_to_string_path(self, trained_model, trained_dataset):
+        class Materialized(GuessingStrategy):
+            """Same guess stream, forced through the string path."""
+
+            name = "materialized"
+
+            def __init__(self, inner):
+                super().__init__(spec="materialized")
+                self.inner = inner
+
+            def bind(self, context):
+                super().bind(context)
+                self.inner.bind(context)
+
+            def iter_guesses(self, rng):
+                for batch in self.inner.iter_guesses(rng):
+                    yield GuessBatch(
+                        batch.materialize(),
+                        latents=batch.latents,
+                        features=batch.features,
+                    )
+
+        test_set = trained_dataset.test_set
+        encoded = AttackEngine(test_set, BUDGETS).run(
+            build("passflow:static?batch=128", model=trained_model),
+            np.random.default_rng(3),
+        )
+        stringy = AttackEngine(test_set, BUDGETS).run(
+            Materialized(build("passflow:static?batch=128", model=trained_model)),
+            np.random.default_rng(3),
+        )
+        assert rows_of(encoded) == rows_of(stringy)
+        assert encoded.matched_samples == stringy.matched_samples
+        assert encoded.non_matched_samples == stringy.non_matched_samples
+
+    def test_batch_requires_strings_or_indices(self):
+        with pytest.raises(ValueError):
+            GuessBatch(None)
+
+    def test_mixed_encoded_then_string_batches(self, trained_model):
+        """A string fallback round after encoded batches must still count."""
+        encoder = trained_model.encoder
+
+        class Mixed(GuessingStrategy):
+            name = "mixed"
+
+            def __init__(self):
+                super().__init__(spec="mixed")
+
+            def iter_guesses(self, rng):
+                rows = np.stack([encoder.to_indices("aa"), encoder.to_indices("bb")])
+                yield GuessBatch(None, index_matrix=rows, codec=encoder)
+                yield GuessBatch(["cc", "aa"])  # string round, one repeat
+
+        report = AttackEngine({"cc"}, [4]).run(Mixed(), np.random.default_rng(0))
+        assert report.final().matched == 1
+        assert report.final().unique == 3  # aa, bb, cc
+
+
+class TestProgressReporting:
+    def test_stream_reports_rate_and_matches(self, trained_model, trained_dataset):
+        from repro.utils.progress import ProgressReporter
+
+        messages = []
+        reporter = ProgressReporter(
+            total=BUDGETS[-1], interval=0.0, sink=messages.append, label="attack"
+        )
+        AttackEngine(trained_dataset.test_set, BUDGETS).run(
+            build("passflow:static?batch=128", model=trained_model),
+            np.random.default_rng(0),
+            progress=reporter,
+        )
+        assert messages, "reporter should have emitted at least one update"
+        assert any("matched" in message for message in messages)
+        assert any("/s)" in message for message in messages)
+        # the final close reports the full guess count
+        assert f"{BUDGETS[-1]}" in messages[-1]
+
+    def test_parallel_engine_reports_shard_merges(self, corpus, trained_dataset):
+        from repro.runtime import LocalExecutor, ParallelAttackEngine, StrategySource
+        from repro.utils.progress import ProgressReporter
+
+        messages = []
+        reporter = ProgressReporter(interval=0.0, sink=messages.append, label="attack")
+        ParallelAttackEngine(
+            trained_dataset.test_set, [200], workers=2, executor=LocalExecutor()
+        ).run(
+            StrategySource("markov:3?batch=64", corpus=corpus[:500]),
+            seed=5,
+            progress=reporter,
+        )
+        assert any("shard" in message for message in messages)
+        assert any("matched" in message for message in messages)
+
+
 class TestConditionalStreaming:
     def test_conditional_guesses_satisfy_template(self, trained_model):
         strategy = build(

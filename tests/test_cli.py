@@ -68,6 +68,69 @@ class TestAttack:
         out = capsys.readouterr().out
         assert "matched" in out and "300" in out
 
+    def test_report_json_dump(self, corpus_file, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "attack",
+                "--corpus", str(corpus_file),
+                "--strategy", "markov:3",
+                "--budgets", "100,300",
+                "--report", str(report_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["method"] == "Markov-3"
+        assert payload["budgets"] == [100, 300]
+        assert [row["guesses"] for row in payload["rows"]] == [100, 300]
+        assert payload["workers"] == 1
+        assert "matched_samples" in payload and "non_matched_samples" in payload
+
+    def test_parallel_workers_deterministic(self, corpus_file, tmp_path, capsys):
+        import json
+
+        reports = []
+        for name in ("a.json", "b.json"):
+            path = tmp_path / name
+            assert main(
+                [
+                    "attack",
+                    "--corpus", str(corpus_file),
+                    "--strategy", "markov:3",
+                    "--budgets", "100,300",
+                    "--workers", "2",
+                    "--report", str(path),
+                ]
+            ) == 0
+            reports.append(json.loads(path.read_text()))
+        assert reports[0]["rows"] == reports[1]["rows"]
+        assert reports[0]["workers"] == 2
+
+    def test_workers_must_be_positive(self, corpus_file):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "attack",
+                    "--corpus", str(corpus_file),
+                    "--strategy", "markov:3",
+                    "--workers", "0",
+                ]
+            )
+
+    def test_budgets_must_be_positive(self, corpus_file):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "attack",
+                    "--corpus", str(corpus_file),
+                    "--strategy", "markov:3",
+                    "--budgets", "0,100",
+                ]
+            )
+
 
 class TestLatentCommands:
     def test_interpolate(self, model_file, capsys):
