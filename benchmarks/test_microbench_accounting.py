@@ -20,19 +20,34 @@ accounting core is >= 5x faster than the scalar per-password loop on the
 1M-guess stream (the encoded path is the one held to the bar; the string
 path must clear a softer 2x floor since CPython string sets are already
 C-speed).
+
+``test_delta_payload_floor`` asserts the delta-transport bar: on a
+1M-guess sharded run, the packed-uint64
+:class:`~repro.core.guesser.KeyedCheckpointDelta` payloads crossing the
+executor result queue are >= 5x smaller (pickled) than the string-list
+:class:`~repro.core.guesser.CheckpointDelta` payloads the string fallback
+ships, while merging to bit-identical rows.
 """
 
 import os
+import pickle
+import sys
 import time
 
 import numpy as np
 import pytest
 
 from benchmarks.conftest import run_once
-from repro.core.guesser import GuessAccounting
+from repro.core.guesser import GuessAccounting, KeyedCheckpointDelta
 from repro.data.alphabet import compact_alphabet
 from repro.data.encoding import PasswordEncoder
-from repro.runtime import LocalExecutor, ParallelAttackEngine
+from repro.runtime import (
+    LocalExecutor,
+    ParallelAttackEngine,
+    ShardPlanner,
+    ShardTask,
+    execute_shard,
+)
 from repro.strategies.base import GuessBatch, GuessingStrategy
 
 STREAM = 1_000_000
@@ -62,6 +77,7 @@ def stream(codec):
         ]
     )
     return {
+        "pool_rows": pool,
         "pool_strings": codec.strings_from_indices(pool),
         "feats": codec.indices_to_floats(index_stream),
         "test_set": set(codec.strings_from_indices(test_rows)),
@@ -110,6 +126,26 @@ class PoolReplayStrategy(GuessingStrategy):
             yield GuessBatch([self._strings[i] for i in draws.tolist()])
 
 
+class EncodedPoolReplayStrategy(GuessingStrategy):
+    """Identical draws to :class:`PoolReplayStrategy`, streamed as
+    index-matrix batches so shard accounting runs in key space."""
+
+    name = "encoded-pool-replay"
+
+    def __init__(self, rows, codec):
+        super().__init__(spec="encoded-pool-replay")
+        self._rows = rows
+        self._codec = codec
+
+    def iter_guesses(self, rng):
+        while True:
+            count = self.context.next_count(BATCH)
+            if count < 1:
+                return
+            draws = (rng.pareto(1.3, size=count) * 1000).astype(np.int64) % POOL
+            yield GuessBatch(None, index_matrix=self._rows[draws], codec=self._codec)
+
+
 def test_scalar_pipeline(benchmark, codec, stream):
     accounting = run_once(
         benchmark, lambda: scalar_pipeline(codec, stream["feats"], stream["test_set"])
@@ -143,6 +179,76 @@ def test_sharded_attack(benchmark, codec, stream):
         lambda: engine.run(lambda: PoolReplayStrategy(pool_strings), seed=1),
     )
     assert [row.guesses for row in report.rows] == BUDGETS
+
+
+def _string_delta_payload(deltas) -> int:
+    """Materialized bytes of string-list deltas (list + str objects)."""
+    total = 0
+    for delta in deltas:
+        for strings in (delta.new_unique, delta.new_matched):
+            total += sys.getsizeof(strings) + sum(map(sys.getsizeof, strings))
+    return total
+
+
+def test_delta_payload_floor(codec, stream):
+    """Acceptance bar: packed delta payloads >= 5x smaller than strings.
+
+    Runs the same 1M-guess attack as 4 shards twice -- once with the
+    string-batch strategy (string-mode accounting, string-list deltas),
+    once with the index-matrix strategy (key-space accounting, packed
+    uint64 deltas) -- and compares everything that leaves a shard:
+
+    * **materialized payload** -- the bytes a worker accumulates and the
+      merging parent holds live while unioning (str objects carry ~50
+      bytes of CPython header each; a packed key is 8 bytes flat).  This
+      is the asserted >= 5x floor.
+    * **wire payload** -- the pickled bytes crossing the result queue
+      (strings pickle compactly, so the shrink there is smaller but must
+      never invert).
+
+    Both transports must decode to identical checkpoint contents.
+    """
+    pool_rows, pool_strings = stream["pool_rows"], stream["pool_strings"]
+    test_set = stream["test_set"]
+    plans = ShardPlanner(BUDGETS, 4).plan()
+
+    def run_shards(source):
+        start = time.perf_counter()
+        task = ShardTask(source=source, test_set=test_set, seed=1)
+        outcomes = [execute_shard(task, plan) for plan in plans]
+        return time.perf_counter() - start, outcomes
+
+    string_time, string_outcomes = run_shards(lambda: PoolReplayStrategy(pool_strings))
+    keyed_time, keyed_outcomes = run_shards(
+        lambda: EncodedPoolReplayStrategy(pool_rows, codec)
+    )
+    assert all(
+        isinstance(d, KeyedCheckpointDelta) for o in keyed_outcomes for d in o.deltas
+    )
+    # identical streams => identical checkpoint contents after decoding
+    for string_outcome, keyed_outcome in zip(string_outcomes, keyed_outcomes):
+        for sd, kd in zip(string_outcome.deltas, keyed_outcome.deltas):
+            assert len(sd.new_unique) == len(kd.new_unique_keys)
+            assert sorted(sd.new_matched) == sorted(kd.decode(codec).new_matched)
+
+    string_payload = sum(_string_delta_payload(o.deltas) for o in string_outcomes)
+    keyed_payload = sum(d.nbytes for o in keyed_outcomes for d in o.deltas)
+    string_wire = sum(len(pickle.dumps(o.deltas)) for o in string_outcomes)
+    keyed_wire = sum(len(pickle.dumps(o.deltas)) for o in keyed_outcomes)
+    shrink = string_payload / keyed_payload
+    wire_shrink = string_wire / keyed_wire
+    print(
+        f"\ndelta transport at {STREAM:,} guesses / 4 shards: "
+        f"materialized {string_payload / 1e6:.1f} -> {keyed_payload / 1e6:.1f} MB "
+        f"({shrink:.1f}x), wire {string_wire / 1e6:.1f} -> {keyed_wire / 1e6:.1f} MB "
+        f"({wire_shrink:.1f}x); shard walltime {string_time:.1f}s -> {keyed_time:.1f}s"
+    )
+    assert shrink >= 5.0, (
+        f"packed deltas only {shrink:.1f}x smaller than string deltas"
+    )
+    assert wire_shrink >= 1.1, (
+        f"packed deltas pickle larger than strings ({wire_shrink:.2f}x)"
+    )
 
 
 def test_speedup_floor(codec, stream):

@@ -25,7 +25,10 @@ Every workflow in the library is reachable from the shell::
 (deterministic for a fixed seed and worker count; ``--workers 1``, the
 default, reproduces seed-era reports bit-identically), and
 ``attack --report out.json`` writes the full machine-readable
-GuessingReport next to the stdout table.
+GuessingReport next to the stdout table.  Shard workers account in
+interned-id key space whenever the strategy streams index-matrix batches,
+so checkpoint deltas cross the worker queue as packed uint64 arrays; see
+``docs/parallel.md`` for the sharding model and how to pick ``--workers``.
 """
 
 from __future__ import annotations

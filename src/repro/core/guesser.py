@@ -34,15 +34,19 @@ For the sharded runtime (:mod:`repro.runtime`) accounting states are
   picklable :class:`AccountingSnapshot` that
   :meth:`GuessAccounting.from_snapshot` rebuilds, and
 * **delta-tracked** -- with ``track_deltas=True`` every checkpoint records
-  the uniques/matches added since the previous checkpoint
-  (:class:`CheckpointDelta`), which is what lets a merger reconstruct
-  global Table II/III rows from per-shard streams.
+  the uniques/matches added since the previous checkpoint, which is what
+  lets a merger reconstruct global Table II/III rows from per-shard
+  streams.  String-mode accountings emit :class:`CheckpointDelta` (string
+  lists); encoded-mode accountings emit :class:`KeyedCheckpointDelta`
+  (packed uint64 arrays), so a 10^7-guess shard's delta payload is a few
+  megabytes of integers instead of tens of megabytes of strings, and
+  merging runs as sorted-array set operations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
 import numpy as np
 
@@ -57,6 +61,7 @@ class BudgetRow:
     match_percent: float
 
     def as_dict(self) -> Dict[str, float]:
+        """Plain-dict form (JSON reports, cross-run row comparisons)."""
         return {
             "guesses": self.guesses,
             "unique": self.unique,
@@ -76,12 +81,14 @@ class GuessingReport:
     matched_samples: List[str] = field(default_factory=list)
 
     def row_at(self, guesses: int) -> BudgetRow:
+        """The checkpoint row at exactly ``guesses``; KeyError if absent."""
         for row in self.rows:
             if row.guesses == guesses:
                 return row
         raise KeyError(f"no checkpoint at {guesses} guesses")
 
     def final(self) -> BudgetRow:
+        """The last checkpoint row reached; ValueError on an empty report."""
         if not self.rows:
             raise ValueError("report has no rows")
         return self.rows[-1]
@@ -101,11 +108,67 @@ class GuessingReport:
 class CheckpointDelta:
     """Uniques/matches first seen between two consecutive checkpoints.
 
-    Contents are unordered (they are only ever unioned during merges).
+    The string-mode delta payload: ``new_unique`` holds every distinct
+    guess first produced inside the checkpoint window, ``new_matched``
+    every test-set password first hit inside it.  Contents are unordered
+    (they are only ever unioned during merges).  Encoded-mode accountings
+    emit :class:`KeyedCheckpointDelta` instead.
     """
 
     new_unique: List[str]
     new_matched: List[str]
+
+
+@dataclass
+class KeyedCheckpointDelta:
+    """A checkpoint delta in interned-id key space (packed uint64 arrays).
+
+    The encoded-mode counterpart of :class:`CheckpointDelta`:
+    ``new_unique_keys`` is the *sorted* array of interned uint64 keys
+    (:meth:`repro.data.encoding.PasswordEncoder.pack_indices`) first seen
+    inside the checkpoint window; ``new_matched_keys`` the keys of test-set
+    passwords first matched inside it.  Keys are in bijection with decoded
+    strings (rows are canonicalized before packing), so unioning keyed
+    deltas counts exactly what unioning the corresponding string deltas
+    would -- at 8 bytes per unique guess instead of a Python string.
+    Strings are only materialized on demand via :meth:`decode`.
+    """
+
+    new_unique_keys: np.ndarray
+    new_matched_keys: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        """Raw transport payload size of both key arrays, in bytes."""
+        return int(self.new_unique_keys.nbytes + self.new_matched_keys.nbytes)
+
+    def decode(self, codec) -> CheckpointDelta:
+        """Materialize the equivalent string-mode :class:`CheckpointDelta`.
+
+        ``codec`` must be the :class:`~repro.data.encoding.PasswordEncoder`
+        whose key space the delta was recorded in (shard outcomes carry
+        it); decoding is exact because packing is a bijection on canonical
+        rows.
+        """
+        return CheckpointDelta(
+            new_unique=codec.strings_from_keys(self.new_unique_keys),
+            new_matched=codec.strings_from_keys(self.new_matched_keys),
+        )
+
+
+#: Either delta flavor; one accounting emits only one flavor (its mode is
+#: locked at first observation), but a merger may receive both.
+Delta = Union[CheckpointDelta, KeyedCheckpointDelta]
+
+
+def _copy_delta(delta: Delta) -> Delta:
+    """Deep-enough copy of either delta flavor (snapshot/restore helper)."""
+    if isinstance(delta, KeyedCheckpointDelta):
+        return KeyedCheckpointDelta(
+            new_unique_keys=np.array(delta.new_unique_keys, dtype=np.uint64),
+            new_matched_keys=np.array(delta.new_matched_keys, dtype=np.uint64),
+        )
+    return CheckpointDelta(list(delta.new_unique), list(delta.new_matched))
 
 
 @dataclass
@@ -114,7 +177,10 @@ class AccountingSnapshot:
 
     The test set is deliberately excluded -- it can be millions of entries
     and is shared by every shard -- so restoring requires passing the same
-    set to :meth:`GuessAccounting.from_snapshot`.
+    set to :meth:`GuessAccounting.from_snapshot`.  ``seen_keys``,
+    ``delta_base_keys`` and ``pending_matched_keys`` are only populated for
+    encoded-mode accountings (the codec itself is not captured; the next
+    ``observe_encoded`` call supplies it again).
     """
 
     budgets: List[int]
@@ -127,11 +193,13 @@ class AccountingSnapshot:
     matched_samples: List[str]
     next_budget_index: int
     track_deltas: bool
-    deltas: List[CheckpointDelta]
+    deltas: List[Delta]
     pending_unique: List[str]
     pending_matched: List[str]
     mode: Optional[str] = None
     seen_keys: Optional[np.ndarray] = None
+    delta_base_keys: Optional[np.ndarray] = None
+    pending_matched_keys: Optional[List[int]] = None
 
 
 def _hash_array(passwords: Iterable[str], count: int) -> np.ndarray:
@@ -223,6 +291,12 @@ class GuessAccounting:
         self._packed_test: Optional[np.ndarray] = None
         self._seen_keys = np.empty(0, dtype=np.uint64)
         self._pending_keys: List[np.ndarray] = []
+        # Encoded delta tracking: the seen-key array as of the previous
+        # checkpoint (diffed at the next one) plus the keys of matches made
+        # since; the codec is remembered so merges can intern fresh matches.
+        self._delta_base_keys = np.empty(0, dtype=np.uint64)
+        self._pending_matched_keys: List[int] = []
+        self._codec = None
 
     @property
     def done(self) -> bool:
@@ -259,10 +333,23 @@ class GuessAccounting:
 
     @property
     def supports_encoded(self) -> bool:
-        """Whether :meth:`observe_encoded` is usable on this accounting
-        (delta tracking and an existing string-mode history both force the
-        string path)."""
-        return not self._track_deltas and self._mode in (None, "encoded")
+        """Whether :meth:`observe_encoded` is usable on this accounting.
+
+        True until a string-mode observation locks the string path; delta
+        tracking is available in both modes (encoded accountings emit
+        :class:`KeyedCheckpointDelta` payloads).
+        """
+        return self._mode in (None, "encoded")
+
+    @property
+    def codec(self):
+        """The codec of encoded observations so far (``None`` otherwise).
+
+        Recorded on the first :meth:`observe_encoded` call; shard outcomes
+        ship it alongside keyed deltas so a merger can decode them back to
+        strings when a sibling shard fell back to string-mode deltas.
+        """
+        return self._codec
 
     # ------------------------------------------------------------------
     # vectorized path (the default)
@@ -376,16 +463,19 @@ class GuessAccounting:
 
         ``codec`` is a :class:`~repro.data.encoding.PasswordEncoder` (or
         anything with ``pack_indices`` / ``pack_passwords`` /
-        ``strings_from_indices``).  Rows are interned into exact uint64
-        keys, so membership and uniqueness run entirely on integer arrays;
-        the report is identical to ``observe(codec.strings_from_indices(m))``
-        but skips string materialization for everything except matches and
-        samples.  Not available with ``track_deltas`` (shard workers stream
-        strings); an accounting cannot mix string and encoded observations.
+        ``strings_from_indices`` / ``strings_from_keys``).  Rows are
+        interned into exact uint64 keys, so membership and uniqueness run
+        entirely on integer arrays; the report is identical to
+        ``observe(codec.strings_from_indices(m))`` but skips string
+        materialization for everything except matches and samples.  With
+        ``track_deltas`` each checkpoint emits a
+        :class:`KeyedCheckpointDelta` -- packed key arrays, never strings
+        -- which is how shard workers keep result-queue traffic compact.
+        An accounting cannot mix string and encoded observations.
         """
-        if self._track_deltas:
-            raise NotImplementedError("observe_encoded does not track deltas")
         self._lock_mode("encoded")
+        if self._codec is None:
+            self._codec = codec
         index_matrix = np.asarray(index_matrix, dtype=np.int64)
         if self.done or index_matrix.size == 0:
             return []
@@ -445,6 +535,8 @@ class GuessAccounting:
                         continue
                     self.matched.add(password)
                     new_match_indices.append(offset + int(i))
+                    if self._track_deltas:
+                        self._pending_matched_keys.append(int(seg_keys[i]))
                     if len(self.matched_samples) < self.sample_cap and not self._key_seen(
                         seg_keys[i]
                     ):
@@ -485,6 +577,7 @@ class GuessAccounting:
 
     # ------------------------------------------------------------------
     def _maybe_checkpoint(self) -> None:
+        """Emit a row (and delta, when tracked) per budget the total crossed."""
         while (
             self._next_budget_index < len(self.budgets)
             and self.total >= self.budgets[self._next_budget_index]
@@ -501,14 +594,35 @@ class GuessAccounting:
             )
             self._next_budget_index += 1
             if self._track_deltas:
-                self.deltas.append(
-                    CheckpointDelta(
-                        new_unique=list(self._pending_unique),
-                        new_matched=list(self._pending_matched),
-                    )
-                )
-                self._pending_unique = set()
-                self._pending_matched = []
+                self.deltas.append(self._take_delta())
+
+    def _take_delta(self) -> Delta:
+        """Collect what this checkpoint window added, resetting the window.
+
+        Encoded mode diffs the sorted seen-key array against its state at
+        the previous checkpoint (both arrays are sorted and unique, so the
+        diff is one :func:`numpy.setdiff1d` pass) and emits a
+        :class:`KeyedCheckpointDelta`; string mode drains the pending
+        string sets into a :class:`CheckpointDelta`.
+        """
+        if self._mode == "encoded":
+            self._compact_keys()
+            new_unique_keys = np.setdiff1d(
+                self._seen_keys, self._delta_base_keys, assume_unique=True
+            )
+            self._delta_base_keys = self._seen_keys
+            new_matched_keys = np.array(self._pending_matched_keys, dtype=np.uint64)
+            self._pending_matched_keys = []
+            return KeyedCheckpointDelta(
+                new_unique_keys=new_unique_keys, new_matched_keys=new_matched_keys
+            )
+        delta = CheckpointDelta(
+            new_unique=list(self._pending_unique),
+            new_matched=list(self._pending_matched),
+        )
+        self._pending_unique = set()
+        self._pending_matched = []
+        return delta
 
     # ------------------------------------------------------------------
     # merge / snapshot (the sharded runtime's primitives)
@@ -541,6 +655,23 @@ class GuessAccounting:
             self._mode = "encoded"
             if self._packed_test is None:
                 self._packed_test = other._packed_test
+            if self._codec is None:
+                self._codec = other._codec
+            if self._track_deltas:
+                # unique-key deltas need no bookkeeping here: the next
+                # checkpoint diff against _delta_base_keys picks up every
+                # merged-in key; fresh matches are interned so the delta
+                # stays in key space
+                fresh_matches = sorted(other.matched - self.matched)
+                if fresh_matches:
+                    if self._codec is None:
+                        raise ValueError(
+                            "cannot merge matches into a delta-tracked encoded "
+                            "accounting before any observation supplies a codec"
+                        )
+                    self._pending_matched_keys.extend(
+                        int(key) for key in self._codec.pack_passwords(fresh_matches)
+                    )
         elif self._track_deltas:
             self._pending_unique |= other.unique - self.unique
             already = set(self._pending_matched)
@@ -572,14 +703,15 @@ class GuessAccounting:
             matched_samples=list(self.matched_samples),
             next_budget_index=self._next_budget_index,
             track_deltas=self._track_deltas,
-            deltas=[
-                CheckpointDelta(list(d.new_unique), list(d.new_matched))
-                for d in self.deltas
-            ],
+            deltas=[_copy_delta(d) for d in self.deltas],
             pending_unique=sorted(self._pending_unique),
             pending_matched=list(self._pending_matched),
             mode=self._mode,
             seen_keys=self._seen_keys.copy() if self._mode == "encoded" else None,
+            delta_base_keys=(
+                self._delta_base_keys.copy() if self._mode == "encoded" else None
+            ),
+            pending_matched_keys=list(self._pending_matched_keys),
         )
 
     @classmethod
@@ -600,15 +732,18 @@ class GuessAccounting:
         accounting.non_matched_samples = list(snapshot.non_matched_samples)
         accounting.matched_samples = list(snapshot.matched_samples)
         accounting._next_budget_index = snapshot.next_budget_index
-        accounting.deltas = [
-            CheckpointDelta(list(d.new_unique), list(d.new_matched))
-            for d in snapshot.deltas
-        ]
+        accounting.deltas = [_copy_delta(d) for d in snapshot.deltas]
         accounting._pending_unique = set(snapshot.pending_unique)
         accounting._pending_matched = list(snapshot.pending_matched)
         accounting._mode = snapshot.mode
         if snapshot.seen_keys is not None:
             accounting._seen_keys = np.array(snapshot.seen_keys, dtype=np.uint64)
+        if snapshot.delta_base_keys is not None:
+            accounting._delta_base_keys = np.array(
+                snapshot.delta_base_keys, dtype=np.uint64
+            )
+        if snapshot.pending_matched_keys:
+            accounting._pending_matched_keys = list(snapshot.pending_matched_keys)
         return accounting
 
     def report(self, method: str) -> GuessingReport:

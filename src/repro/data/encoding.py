@@ -25,7 +25,10 @@ For the accounting core's interned-id fast path, index rows can be
 *canonicalized* (everything after the first PAD zeroed, so row <-> decoded
 string is a bijection) and bit-packed into single uint64 keys
 (:meth:`PasswordEncoder.pack_indices`), letting set membership over
-millions of guesses run as integer array operations.
+millions of guesses run as integer array operations.  The inverse
+(:meth:`PasswordEncoder.unpack_keys` / :meth:`PasswordEncoder.strings_from_keys`)
+is exact, which is what lets the sharded runtime transport checkpoint
+deltas as packed key arrays and materialize strings only on demand.
 """
 
 from __future__ import annotations
@@ -246,6 +249,17 @@ class PasswordEncoder:
         )
         mask = np.uint64((1 << self.pack_bits) - 1)
         return ((keys >> shifts) & mask).astype(np.int64)
+
+    def strings_from_keys(self, keys: np.ndarray) -> List[str]:
+        """uint64 interned-id keys -> password strings (exact inverse).
+
+        One vectorized unpack + decode pass; the lazy-materialization hook
+        for :class:`~repro.core.guesser.KeyedCheckpointDelta` payloads.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        if keys.size == 0:
+            return []
+        return self.strings_from_indices(self.unpack_keys(keys))
 
     def dequantize(self, features: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Add uniform within-bin noise: U(-w/2, w/2) with w = bin width."""

@@ -376,7 +376,10 @@ class EvalContext:
         ``workers>1`` shards the budgets through a
         :class:`~repro.runtime.ParallelAttackEngine` (deterministic for a
         fixed ``(seed, workers)``, with per-shard RNG streams derived from
-        ``attack-{label}``).
+        ``attack-{label}``).  Shards account in interned-id key space when
+        the strategy streams index-matrix batches, shipping checkpoint
+        deltas as packed uint64 arrays rather than string lists, so large
+        parallel table runs stay queue-cheap (see ``docs/parallel.md``).
         """
         workers = self.workers if workers is None else workers
         source = self.strategy_source(spec, model=model)

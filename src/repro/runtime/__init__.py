@@ -12,7 +12,12 @@ Three layers sit between a strategy spec and a Table II/III report:
   :class:`StrategySource`) run the shards;
 * :class:`ParallelAttackEngine` merges the shards' checkpoint deltas into
   the same :class:`~repro.core.guesser.BudgetRow` checkpoints the serial
-  engine emits.
+  engine emits.  Shards that account in interned-id key space (every
+  smoother-free PassFlow strategy) ship their deltas as
+  :class:`~repro.core.guesser.KeyedCheckpointDelta` packed uint64 arrays
+  and the merge runs as sorted-array set operations; string-mode shards
+  (baselines, smoothing) ship :class:`~repro.core.guesser.CheckpointDelta`
+  string lists, and mixed runs merge exactly in string space.
 
 Typical use::
 

@@ -6,8 +6,8 @@ matched-latent memory stays shard-local), its :class:`ShardPlan`, and the
 shared attack parameters (test set, seed, sample cap).  Workers stream
 their strategy through a delta-tracked
 :class:`~repro.core.guesser.GuessAccounting` and return a picklable
-:class:`ShardOutcome` -- per-checkpoint :class:`CheckpointDelta` payloads
-plus terminal counters -- which the
+:class:`ShardOutcome` -- per-checkpoint delta payloads plus terminal
+counters -- which the
 :class:`~repro.runtime.parallel.ParallelAttackEngine` merges.
 
 :class:`LocalExecutor` runs shards sequentially in-process and is the
@@ -17,12 +17,15 @@ string via the inherited :class:`StrategySource`; only outcomes cross the
 process boundary).  Both produce bit-identical outcomes for a fixed
 ``(seed, workers)``.
 
-Scaling note: delta payloads carry each shard's distinct guesses as
-strings, so the result-queue traffic is O(unique guesses per shard).  At
-repro scale (<=10^6-guess budgets) this is megabytes; pushing budgets
-toward the paper's 10^8 wants deltas transported as packed interned-id
-arrays (and shard accounting run in key space), which is the next step on
-this runtime's roadmap.
+Delta transport: shard accounting runs in interned-id key space whenever
+the strategy streams (N, D) index-matrix batches (every smoother-free
+PassFlow strategy does), so checkpoint deltas cross the result queue as
+:class:`~repro.core.guesser.KeyedCheckpointDelta` payloads -- packed
+uint64 arrays, 8 bytes per unique guess -- and 10^7+-guess sharded
+attacks stay queue-cheap.  Strategies without an index-matrix stream
+(the baselines, smoothing modes) fall back to string-mode
+:class:`~repro.core.guesser.CheckpointDelta` payloads; the merger accepts
+either, per shard.
 """
 
 from __future__ import annotations
@@ -32,7 +35,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Set, Union
 
-from repro.core.guesser import CheckpointDelta, GuessAccounting
+from repro.core.guesser import Delta, GuessAccounting, KeyedCheckpointDelta
 from repro.runtime.planner import ShardPlan
 from repro.strategies.engine import AttackEngine, AttackState
 from repro.strategies.registry import build
@@ -59,6 +62,7 @@ class StrategySource:
     batch_size: Optional[int] = None
 
     def build(self):
+        """Construct a fresh strategy instance from the recorded recipe."""
         return build(
             self.spec,
             model=self.model,
@@ -108,23 +112,42 @@ class ShardOutcome:
     """A finished shard's accounting, ready to merge.
 
     ``deltas[k]`` holds what the shard added between its local checkpoints
-    ``k-1`` and ``k`` (aligned with ``local_budgets``); ``completed`` is
-    how many local checkpoints were actually reached (all of them unless
-    the strategy's guess stream was finite and ran dry).
+    ``k-1`` and ``k`` (aligned with ``local_budgets``): a
+    :class:`~repro.core.guesser.KeyedCheckpointDelta` of packed uint64
+    arrays when the shard accounted in interned-id key space, a string
+    :class:`~repro.core.guesser.CheckpointDelta` otherwise (an accounting
+    locks its mode at the first observation, so one outcome never mixes
+    the two).  ``codec`` is the shard's
+    :class:`~repro.data.encoding.PasswordEncoder` when deltas are keyed
+    (``None`` for string shards); the merger uses it to decode keyed
+    deltas if a sibling shard fell back to strings.  ``completed`` is how
+    many local checkpoints were actually reached (all of them unless the
+    strategy's guess stream was finite and ran dry).
     """
 
     index: int
     local_budgets: List[int]
-    deltas: List[CheckpointDelta] = field(default_factory=list)
+    deltas: List[Delta] = field(default_factory=list)
     total: int = 0
     batches: int = 0
     matched_samples: List[str] = field(default_factory=list)
     non_matched_samples: List[str] = field(default_factory=list)
     method: Optional[str] = None  # the shard strategy's display name
+    codec: Optional[Any] = None  # set when deltas are keyed
 
     @property
     def completed(self) -> int:
+        """How many local checkpoints the shard actually reached."""
         return len(self.deltas)
+
+    @property
+    def keyed(self) -> bool:
+        """Whether this shard's deltas are packed key arrays.
+
+        Vacuously true for an empty delta list -- an empty shard merges
+        cleanly into either key-space or string-space accumulation.
+        """
+        return all(isinstance(d, KeyedCheckpointDelta) for d in self.deltas)
 
     def reached(self, mark: int) -> bool:
         """Did the shard finish every local checkpoint up to ``mark``?"""
@@ -169,6 +192,8 @@ def execute_shard(task: ShardTask, plan: ShardPlan) -> ShardOutcome:
     outcome.batches = state.batches
     outcome.matched_samples = accounting.matched_samples
     outcome.non_matched_samples = accounting.non_matched_samples
+    if accounting.mode == "encoded":
+        outcome.codec = accounting.codec
     return outcome
 
 
@@ -176,6 +201,7 @@ class LocalExecutor:
     """Runs shards sequentially in-process: the deterministic reference."""
 
     def run(self, task: ShardTask, plans: Sequence[ShardPlan]) -> List[ShardOutcome]:
+        """Run every shard in plan order, in this process, and collect outcomes."""
         return [execute_shard(task, plan) for plan in plans]
 
 
@@ -209,6 +235,11 @@ class ProcessExecutor:
         self._context = multiprocessing.get_context("fork")
 
     def run(self, task: ShardTask, plans: Sequence[ShardPlan]) -> List[ShardOutcome]:
+        """Fork one worker per shard; gather outcomes in shard-index order.
+
+        Raises the original worker exception (when picklable) or a
+        RuntimeError naming shards that died without reporting.
+        """
         queue = self._context.Queue()
         processes = [
             self._context.Process(

@@ -3,8 +3,11 @@
 The engine splits the budget schedule over W shards
 (:class:`~repro.runtime.planner.ShardPlanner`), runs each shard's own
 strategy instance on its own RNG stream through an executor, and folds the
-per-checkpoint :class:`~repro.core.guesser.CheckpointDelta` payloads back
-into the same :class:`~repro.core.guesser.BudgetRow` checkpoints the serial
+per-checkpoint delta payloads (packed-key
+:class:`~repro.core.guesser.KeyedCheckpointDelta` arrays when shards
+accounted in interned-id key space, string
+:class:`~repro.core.guesser.CheckpointDelta` lists otherwise) back into
+the same :class:`~repro.core.guesser.BudgetRow` checkpoints the serial
 :class:`~repro.strategies.engine.AttackEngine` emits: at global budget
 ``b_j`` every shard has generated exactly its planned mark, so the union of
 their uniques/matches *is* the global accounting state at ``b_j`` guesses.
@@ -21,7 +24,14 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Set
 
-from repro.core.guesser import BudgetRow, GuessingReport, extend_samples
+import numpy as np
+
+from repro.core.guesser import (
+    BudgetRow,
+    GuessingReport,
+    KeyedCheckpointDelta,
+    extend_samples,
+)
 from repro.runtime.executor import (
     LocalExecutor,
     ProcessExecutor,
@@ -115,20 +125,54 @@ class ParallelAttackEngine:
         return spec if spec is not None else "parallel-attack"
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _keyed_merge_possible(outcomes: List[ShardOutcome]) -> bool:
+        """Whether every shard's deltas can be unioned in one key space.
+
+        Requires every outcome to carry keyed deltas *and* every codec to
+        agree on the packing geometry (vocabulary size and max length fix
+        the key layout); shards of one run always satisfy both, but a
+        string-mode shard -- a baseline strategy, or a run that fell back
+        to strings on its first batch -- forces the string-space path.
+        """
+        if not all(outcome.keyed for outcome in outcomes):
+            return False
+        geometries = {
+            (outcome.codec.vocab_size, outcome.codec.max_length)
+            for outcome in outcomes
+            if outcome.codec is not None
+        }
+        return len(geometries) <= 1
+
     def _merge(
         self,
         plans: List[ShardPlan],
         outcomes: List[ShardOutcome],
         method: str,
     ) -> GuessingReport:
-        """Fold shard checkpoint deltas into global budget rows."""
+        """Fold shard checkpoint deltas into global budget rows.
+
+        Runs entirely in interned-id key space when every shard shipped
+        :class:`~repro.core.guesser.KeyedCheckpointDelta` payloads: global
+        unique/matched accumulation is then a sorted uint64 array per set
+        and each delta folds in via :func:`numpy.union1d` -- no strings
+        ever materialize.  If any shard fell back to string deltas, keyed
+        payloads are decoded through their shard's codec and the merge
+        runs in string space; either way the row counts are identical
+        (keys and strings are in bijection).
+        """
+        keyed = self._keyed_merge_possible(outcomes)
         unique: set = set()
         matched: set = set()
+        unique_keys = np.empty(0, dtype=np.uint64)
+        matched_keys = np.empty(0, dtype=np.uint64)
         cursors = [0] * len(outcomes)
         rows: List[BudgetRow] = []
         test_size = len(self.test_set)
         for j, budget in enumerate(self.budgets):
             complete = True
+            fresh_unique: List[np.ndarray] = []
+            fresh_matched: List[np.ndarray] = []
             for plan, outcome, k in zip(plans, outcomes, range(len(outcomes))):
                 mark = plan.marks[j]
                 if not outcome.reached(mark):
@@ -139,17 +183,35 @@ class ParallelAttackEngine:
                     and outcome.local_budgets[cursors[k]] <= mark
                 ):
                     delta = outcome.deltas[cursors[k]]
-                    unique.update(delta.new_unique)
-                    matched.update(delta.new_matched)
+                    if keyed:
+                        fresh_unique.append(delta.new_unique_keys)
+                        fresh_matched.append(delta.new_matched_keys)
+                    else:
+                        if isinstance(delta, KeyedCheckpointDelta):
+                            delta = delta.decode(outcome.codec)
+                        unique.update(delta.new_unique)
+                        matched.update(delta.new_matched)
                     cursors[k] += 1
+            if keyed:
+                # one union per budget, not per shard delta: re-sorting the
+                # cumulative array W times per checkpoint is where a
+                # 10^7-key merge would burn its CPU budget
+                if fresh_unique:
+                    unique_keys = np.union1d(unique_keys, np.concatenate(fresh_unique))
+                if fresh_matched:
+                    matched_keys = np.union1d(
+                        matched_keys, np.concatenate(fresh_matched)
+                    )
             if not complete:
                 break  # mirror the serial engine: no row for an unreached budget
-            percent = 100.0 * len(matched) / test_size if test_size else 0.0
+            n_unique = int(unique_keys.size) if keyed else len(unique)
+            n_matched = int(matched_keys.size) if keyed else len(matched)
+            percent = 100.0 * n_matched / test_size if test_size else 0.0
             rows.append(
                 BudgetRow(
                     guesses=budget,
-                    unique=len(unique),
-                    matched=len(matched),
+                    unique=n_unique,
+                    matched=n_matched,
                     match_percent=percent,
                 )
             )

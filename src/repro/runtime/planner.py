@@ -48,6 +48,7 @@ class ShardPlan:
 
     @property
     def local_budgets(self) -> List[int]:
+        """Deduplicated positive marks: the shard's own budget schedule."""
         return sorted({mark for mark in self.marks if mark > 0})
 
     def rng_label(self, prefix: str = "") -> str:
@@ -55,6 +56,7 @@ class ShardPlan:
         return f"{prefix}shard-{self.index}"
 
     def rng(self, seed: int, prefix: str = "") -> np.random.Generator:
+        """The shard's own deterministic generator for attack ``seed``."""
         return spawn_rng(seed, self.rng_label(prefix))
 
 

@@ -165,10 +165,16 @@ class TestEncodedEquivalence:
         with pytest.raises(ValueError):
             acc2.observe(["a"])
 
-    def test_encoded_rejects_delta_tracking(self, codec):
-        acc = GuessAccounting(set(), [10], track_deltas=True)
-        with pytest.raises(NotImplementedError):
-            acc.observe_encoded(np.zeros((1, 10), dtype=np.int64), codec)
+    def test_encoded_delta_tracking_emits_keyed_deltas(self, codec):
+        """track_deltas in encoded mode ships packed keys, not strings."""
+        from repro.core.guesser import KeyedCheckpointDelta
+
+        acc = GuessAccounting(set(), [2, 3], track_deltas=True)
+        rows = np.stack([codec.to_indices(p) for p in ["aa", "ab", "aa"]])
+        acc.observe_encoded(rows, codec)
+        assert [type(d) for d in acc.deltas] == [KeyedCheckpointDelta] * 2
+        assert sorted(acc.deltas[0].decode(codec).new_unique) == ["aa", "ab"]
+        assert acc.deltas[1].decode(codec).new_unique == []
 
     def test_empty_batches_observe_nothing(self, codec):
         acc = GuessAccounting({"abc"}, [5])
