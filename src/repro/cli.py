@@ -22,13 +22,16 @@ Every workflow in the library is reachable from the shell::
 ``--alpha/--sigma/--gamma/--temperature`` flags.
 
 ``attack --workers N`` shards the guess budgets across N processes
-(deterministic for a fixed seed and worker count; ``--workers 1``, the
-default, reproduces seed-era reports bit-identically), and
-``attack --report out.json`` writes the full machine-readable
-GuessingReport next to the stdout table.  Shard workers account in
-interned-id key space whenever the strategy streams index-matrix batches,
-so checkpoint deltas cross the worker queue as packed uint64 arrays; see
-``docs/parallel.md`` for the sharding model and how to pick ``--workers``.
+(deterministic for a fixed seed, worker count and schedule;
+``--workers 1``, the default, reproduces seed-era reports
+bit-identically), ``attack --schedule elastic`` switches to the
+work-stealing runtime (dry or straggling shards release their unconsumed
+budget back to the fleet at checkpoints), and ``attack --report
+out.json`` writes the full machine-readable GuessingReport next to the
+stdout table.  Shard workers account in interned-id key space whenever
+the strategy streams index-matrix batches, so checkpoint deltas cross the
+worker queue as packed uint64 arrays; see ``docs/parallel.md`` for the
+sharding model and how to pick ``--workers`` and ``--schedule``.
 """
 
 from __future__ import annotations
@@ -209,19 +212,22 @@ def cmd_attack(args) -> int:
         raise SystemExit(str(exc))
     described = strategy.describe()
     workers = "" if args.workers == 1 else f" across {args.workers} workers"
+    elastic = "" if args.schedule == "static" else f" ({args.schedule} schedule)"
     print(
         f"attacking {len(test_set)} cleaned targets with {described}, "
-        f"budgets {budgets}{workers}"
+        f"budgets {budgets}{workers}{elastic}"
     )
     progress = ProgressReporter(total=budgets[-1], label="attack")
     try:
-        if args.workers == 1:
+        if args.workers == 1 and args.schedule == "static":
             # serial path: bit-identical to the seed-era single-process engine
             report = AttackEngine(test_set, budgets).run(
                 strategy, np.random.default_rng(args.seed), progress=progress
             )
         else:
-            engine = ParallelAttackEngine(test_set, budgets, workers=args.workers)
+            engine = ParallelAttackEngine(
+                test_set, budgets, workers=args.workers, schedule=args.schedule
+            )
             report = engine.run(
                 source.pin(strategy),
                 seed=args.seed,
@@ -237,11 +243,17 @@ def cmd_attack(args) -> int:
     ]
     print(f"method: {report.method}")
     print(format_table(["guesses", "unique", "matched", "% of test"], rows))
+    for error in report.shard_errors:
+        print(
+            f"warning: {error} (its budget was re-absorbed by the surviving shards)",
+            file=sys.stderr,
+        )
     if args.report:
         payload = report.as_dict()
         payload["budgets"] = budgets
         payload["seed"] = args.seed
         payload["workers"] = args.workers
+        payload["schedule"] = args.schedule
         payload["strategy"] = described
         out = Path(args.report)
         out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -376,6 +388,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="shard the attack across N processes (1 = serial, bit-identical "
         "to seed-era reports; N>1 deterministic for fixed seed and N)",
+    )
+    p.add_argument(
+        "--schedule",
+        choices=["static", "elastic"],
+        default="static",
+        help="shard scheduling: static (fixed even split, the default) or "
+        "elastic (work-stealing chunks; dry/straggling shards release "
+        "their unconsumed budget back to the fleet at checkpoints)",
     )
     p.add_argument(
         "--report",

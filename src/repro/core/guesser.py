@@ -72,13 +72,21 @@ class BudgetRow:
 
 @dataclass
 class GuessingReport:
-    """Full result of one guessing attack."""
+    """Full result of one guessing attack.
+
+    ``shard_errors`` is non-empty only for elastic parallel runs in which
+    a shard's strategy crashed and its budget was re-absorbed by the
+    surviving shards: the rows are still exact for the guesses actually
+    made, but the sample of the attack is smaller than requested, and
+    consumers (the CLI prints a warning) should know.
+    """
 
     method: str
     test_size: int
     rows: List[BudgetRow] = field(default_factory=list)
     non_matched_samples: List[str] = field(default_factory=list)
     matched_samples: List[str] = field(default_factory=list)
+    shard_errors: List[str] = field(default_factory=list)
 
     def row_at(self, guesses: int) -> BudgetRow:
         """The checkpoint row at exactly ``guesses``; KeyError if absent."""
@@ -94,14 +102,21 @@ class GuessingReport:
         return self.rows[-1]
 
     def as_dict(self) -> Dict[str, object]:
-        """Machine-readable form (``repro attack --report out.json``)."""
-        return {
+        """Machine-readable form (``repro attack --report out.json``).
+
+        ``shard_errors`` appears only when a shard crashed, so clean
+        runs' payloads are byte-identical to the pre-elastic format.
+        """
+        payload: Dict[str, object] = {
             "method": self.method,
             "test_size": self.test_size,
             "rows": [row.as_dict() for row in self.rows],
             "matched_samples": list(self.matched_samples),
             "non_matched_samples": list(self.non_matched_samples),
         }
+        if self.shard_errors:
+            payload["shard_errors"] = list(self.shard_errors)
+        return payload
 
 
 @dataclass
@@ -576,25 +591,45 @@ class GuessAccounting:
             self._seen_keys = np.insert(self._seen_keys, insert_at, fresh)
 
     # ------------------------------------------------------------------
+    def _emit_row(self, guesses: int) -> BudgetRow:
+        """Append one checkpoint row (and its delta, when tracked)."""
+        percent = (
+            100.0 * len(self.matched) / len(self.test_set) if self.test_set else 0.0
+        )
+        row = BudgetRow(
+            guesses=guesses,
+            unique=self._unique_count(),
+            matched=len(self.matched),
+            match_percent=percent,
+        )
+        self.rows.append(row)
+        if self._track_deltas:
+            self.deltas.append(self._take_delta())
+        return row
+
     def _maybe_checkpoint(self) -> None:
         """Emit a row (and delta, when tracked) per budget the total crossed."""
         while (
             self._next_budget_index < len(self.budgets)
             and self.total >= self.budgets[self._next_budget_index]
         ):
-            budget = self.budgets[self._next_budget_index]
-            percent = 100.0 * len(self.matched) / len(self.test_set) if self.test_set else 0.0
-            self.rows.append(
-                BudgetRow(
-                    guesses=budget,
-                    unique=self._unique_count(),
-                    matched=len(self.matched),
-                    match_percent=percent,
-                )
-            )
+            self._emit_row(self.budgets[self._next_budget_index])
             self._next_budget_index += 1
-            if self._track_deltas:
-                self.deltas.append(self._take_delta())
+
+    def cut_checkpoint(self) -> Optional[BudgetRow]:
+        """Force a checkpoint at the current total, off the budget grid.
+
+        The elastic runtime closes every budget *window* with a cut: a row
+        labeled with exactly the guesses accounted so far plus (when delta
+        tracking is on) the delta of everything added since the previous
+        checkpoint -- which is how a shard that ran dry mid-window still
+        ships its tail guesses to the merger.  A no-op returning ``None``
+        when the total already sits on the last emitted checkpoint (or
+        nothing was observed yet), so callers may invoke it defensively.
+        """
+        if self.total == 0 or (self.rows and self.rows[-1].guesses == self.total):
+            return None
+        return self._emit_row(self.total)
 
     def _take_delta(self) -> Delta:
         """Collect what this checkpoint window added, resetting the window.

@@ -152,6 +152,7 @@ class EvalContext:
         cache_dir: Path | str = DEFAULT_CACHE_DIR,
         alphabet: Optional[Alphabet] = None,
         workers: Optional[int] = None,
+        schedule: Optional[str] = None,
     ) -> None:
         self.settings = settings or settings_from_env()
         self.cache_dir = Path(cache_dir)
@@ -170,6 +171,16 @@ class EvalContext:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        # shard scheduling: explicit argument, else REPRO_ATTACK_SCHEDULE,
+        # else static (the bit-compatible default; "elastic" re-plans dry
+        # shards' budgets at checkpoints, see docs/parallel.md)
+        if schedule is None:
+            schedule = os.environ.get("REPRO_ATTACK_SCHEDULE", "static")
+        if schedule not in ("static", "elastic"):
+            raise ValueError(
+                f"schedule must be 'static' or 'elastic', got {schedule!r}"
+            )
+        self.schedule = schedule
         self._corpus: Optional[List[str]] = None
         self._dataset: Optional[PasswordDataset] = None
         self._passflow: Dict[str, PassFlow] = {}
@@ -368,27 +379,35 @@ class EvalContext:
         method: Optional[str] = None,
         model=None,
         workers: Optional[int] = None,
+        schedule: Optional[str] = None,
     ) -> GuessingReport:
         """One seeded attack run: build the spec, stream it to completion.
 
-        ``workers`` defaults to the context's parallelism.  The serial
-        path (``workers=1``) reproduces seed-era reports bit-identically;
-        ``workers>1`` shards the budgets through a
-        :class:`~repro.runtime.ParallelAttackEngine` (deterministic for a
-        fixed ``(seed, workers)``, with per-shard RNG streams derived from
-        ``attack-{label}``).  Shards account in interned-id key space when
-        the strategy streams index-matrix batches, shipping checkpoint
-        deltas as packed uint64 arrays rather than string lists, so large
-        parallel table runs stay queue-cheap (see ``docs/parallel.md``).
+        ``workers`` and ``schedule`` default to the context's settings.
+        The serial path (``workers=1`` with the static schedule)
+        reproduces seed-era reports bit-identically; otherwise the budgets
+        shard through a :class:`~repro.runtime.ParallelAttackEngine`
+        (deterministic for a fixed ``(seed, workers, schedule)``, with
+        per-shard -- per-chunk, under ``schedule="elastic"`` -- RNG
+        streams derived from ``attack-{label}``).  Shards account in
+        interned-id key space when the strategy streams index-matrix
+        batches, shipping checkpoint deltas as packed uint64 arrays rather
+        than string lists, so large parallel table runs stay queue-cheap;
+        the elastic schedule additionally re-plans dry shards' budgets at
+        checkpoints (see ``docs/parallel.md``).
         """
         workers = self.workers if workers is None else workers
+        schedule = self.schedule if schedule is None else schedule
         source = self.strategy_source(spec, model=model)
-        if workers <= 1:
+        if workers <= 1 and schedule == "static":
             return self.engine().run(
                 source.build(), self.attack_rng(label), method=method
             )
         engine = ParallelAttackEngine(
-            self.test_set, self.settings.guess_budgets, workers=workers
+            self.test_set,
+            self.settings.guess_budgets,
+            workers=workers,
+            schedule=schedule,
         )
         # method=None lets the shard strategies name the report, matching
         # the serial engine's default (e.g. "Markov-3", not "markov:3")

@@ -9,7 +9,11 @@ Three layers sit between a strategy spec and a Table II/III report:
 * :class:`LocalExecutor` (in-process, the deterministic reference) and
   :class:`ProcessExecutor` (one forked process per shard; strategies are
   rebuilt in the worker from their registry spec via
-  :class:`StrategySource`) run the shards;
+  :class:`StrategySource`) run static shards;
+  :class:`WorkStealingExecutor` runs elastic chunk chains over a
+  persistent thread pool (any idle worker pulls the next chunk of any
+  shard, and dry shards' budgets are re-planned onto the live fleet at
+  checkpoint boundaries -- see :mod:`repro.runtime.elastic`);
 * :class:`ParallelAttackEngine` merges the shards' checkpoint deltas into
   the same :class:`~repro.core.guesser.BudgetRow` checkpoints the serial
   engine emits.  Shards that account in interned-id key space (every
@@ -27,33 +31,54 @@ Typical use::
     source = StrategySource("passflow:dynamic+gs?alpha=1&sigma=0.12", model=model)
     report = engine.run(source, seed=7)
 
-Determinism contract: fixed ``(seed, workers)`` -> bit-identical reports,
-regardless of executor.  ``workers=1`` through the serial
-:class:`~repro.strategies.engine.AttackEngine` path (as the CLI and eval
-harness route it) reproduces seed-era reports bit-identically.
+Determinism contract: fixed ``(seed, workers, schedule)`` -> bit-identical
+reports, regardless of executor.  ``workers=1`` with the default static
+schedule through the serial :class:`~repro.strategies.engine.AttackEngine`
+path (as the CLI and eval harness route it) reproduces seed-era reports
+bit-identically; ``schedule="elastic"`` chunks every shard's stream over
+named per-chunk RNG streams, so its reports are a different (equally
+valid, equally deterministic) sample of the same attack.
 """
 
+from repro.runtime.elastic import (
+    ElasticShardOutcome,
+    chunk_quotas,
+    run_elastic,
+)
 from repro.runtime.executor import (
     LocalExecutor,
     ProcessExecutor,
     ShardOutcome,
     ShardTask,
     StrategySource,
+    WorkStealingExecutor,
     execute_shard,
 )
 from repro.runtime.parallel import ParallelAttackEngine, default_executor
-from repro.runtime.planner import ShardPlan, ShardPlanner, split_budget
+from repro.runtime.planner import (
+    ShardPlan,
+    ShardPlanner,
+    ShardProgress,
+    balanced_totals,
+    split_budget,
+)
 
 __all__ = [
+    "ElasticShardOutcome",
     "LocalExecutor",
     "ParallelAttackEngine",
     "ProcessExecutor",
     "ShardOutcome",
     "ShardPlan",
     "ShardPlanner",
+    "ShardProgress",
     "ShardTask",
     "StrategySource",
+    "WorkStealingExecutor",
+    "balanced_totals",
+    "chunk_quotas",
     "default_executor",
     "execute_shard",
+    "run_elastic",
     "split_budget",
 ]

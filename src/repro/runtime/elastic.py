@@ -1,0 +1,311 @@
+"""Elastic shard scheduling: chunked shard runs with checkpoint re-planning.
+
+The static runtime fixes every shard's quota up front, so a shard whose
+strategy runs dry (finite guess streams, conditional templates) or
+straggles under load idles the rest of the fleet.  The elastic schedule
+keeps the same merge-at-checkpoint accounting discipline but makes two
+changes, following the re-partitioning half of Liu's dynamic-load-balancing
+playbook:
+
+* **Chunked execution.**  Each budget window (the span between two global
+  checkpoints) is processed as a round of per-shard *chunks*.  Chunk ``k``
+  of shard ``i`` streams from its own named RNG stream
+  (``spawn_rng(seed, "shard-i-chunk-k")``) through a fresh
+  ``iter_guesses`` generator, while the shard's *strategy instance*
+  persists across chunks -- so a shard's guess stream is a pure function
+  of ``(seed, workers, schedule, chunk policy)`` and work stealing can
+  reorder chunk execution across shards without changing any stream.
+* **Checkpoint-aligned re-planning.**  At deterministic round boundaries
+  the driver measures what every shard actually produced; shards that ran
+  dry (or crashed) release their unconsumed budget back to the queue and
+  :meth:`~repro.runtime.planner.ShardPlanner.replan` re-splits it over the
+  live shards, marks still summing exactly to each budget.  Dryness is a
+  property of the strategy (guess counts), never of wall-clock timing, so
+  re-planning decisions are bit-reproducible.
+
+Determinism contract: for fixed ``(seed, workers, schedule="elastic")``
+the merged report is bit-identical across runs and across
+:class:`~repro.runtime.executor.LocalExecutor` (sequential reference) and
+:class:`~repro.runtime.executor.WorkStealingExecutor` (persistent thread
+pool, chunk-level stealing).  Elastic streams differ from static streams
+for RNG-driven strategies (different named streams); for
+position-deterministic strategies -- enumerators whose next guess depends
+only on instance state -- the two schedules produce identical reports.
+
+When every shard runs dry before the final budget, the run closes out
+with a row reporting the guesses *actually accounted* (the shards' dry
+tails included) instead of pretending the full budget was attempted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.core.guesser import Delta, GuessAccounting, KeyedCheckpointDelta
+from repro.runtime.executor import StrategySource, _ShardProgress
+from repro.runtime.planner import ShardPlanner, ShardProgress, balanced_totals
+from repro.strategies.engine import AttackEngine, AttackState
+from repro.utils.logging import get_logger
+from repro.utils.rng import spawn_rng
+
+logger = get_logger("runtime.elastic")
+
+#: Auto chunk policy: a shard's round quota splits into at most this many
+#: chunks, so small windows stay cheap and large windows interleave well.
+DEFAULT_CHUNKS_PER_ROUND = 8
+
+
+def chunk_quotas(quota: int, chunk_size: Optional[int] = None) -> List[int]:
+    """Deterministic chunk sizes covering a shard's round quota exactly.
+
+    With an explicit ``chunk_size`` the quota splits into full chunks plus
+    one remainder chunk; the default policy sizes chunks as
+    ``ceil(quota / DEFAULT_CHUNKS_PER_ROUND)``.  Chunk boundaries are part
+    of the elastic determinism key -- they decide where each per-chunk RNG
+    stream starts -- so they depend only on the quota and the policy,
+    never on timing.
+    """
+    if quota < 1:
+        return []
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    size = chunk_size if chunk_size is not None else max(
+        1, math.ceil(quota / DEFAULT_CHUNKS_PER_ROUND)
+    )
+    full, rest = divmod(quota, size)
+    return [size] * full + ([rest] if rest else [])
+
+
+@dataclass
+class ElasticShardOutcome:
+    """A finished elastic shard's accounting, grouped by budget window.
+
+    ``deltas`` holds every checkpoint delta the shard emitted (one per
+    chunk, plus a window-closing cut for dry tails);
+    ``window_slices[j]`` is the half-open index range of the deltas that
+    belong to budget window ``j``, so the merger can reconstruct the
+    global state at each budget without caring how many chunks a window
+    took.  ``crashed`` carries the repr of the strategy exception that
+    retired the shard, if any (its budget was re-planned onto live
+    shards).  ``codec`` mirrors the static
+    :class:`~repro.runtime.executor.ShardOutcome` contract for keyed
+    deltas.
+    """
+
+    index: int
+    total: int = 0
+    batches: int = 0
+    deltas: List[Delta] = field(default_factory=list)
+    window_slices: List[Tuple[int, int]] = field(default_factory=list)
+    matched_samples: List[str] = field(default_factory=list)
+    non_matched_samples: List[str] = field(default_factory=list)
+    method: Optional[str] = None
+    codec: Optional[Any] = None
+    crashed: Optional[str] = None
+
+    @property
+    def keyed(self) -> bool:
+        """Whether every delta is a packed key array (vacuously true when empty)."""
+        return all(isinstance(d, KeyedCheckpointDelta) for d in self.deltas)
+
+    def window_deltas(self, window: int) -> List[Delta]:
+        """The deltas emitted inside budget window ``window`` (possibly empty)."""
+        if window >= len(self.window_slices):
+            return []
+        start, stop = self.window_slices[window]
+        return self.deltas[start:stop]
+
+
+class _ShardRun:
+    """One shard's persistent state across elastic chunks.
+
+    Owns the shard's strategy instance (feedback state survives chunk
+    boundaries, exactly as it survives batch boundaries in a static
+    shard) and its delta-tracked accounting.  ``run_chunk`` is the unit
+    the executors schedule; it is only ever invoked by one worker at a
+    time (the chunk-chain protocol guarantees order).
+    """
+
+    def __init__(self, index, task) -> None:
+        self.index = index
+        self.task = task
+        self.strategy = (
+            task.source.build()
+            if isinstance(task.source, StrategySource)
+            else task.source()
+        )
+        self.method = getattr(self.strategy, "name", None)
+        self.live = True
+        self.error: Optional[Exception] = None
+        self.chunk_counter = 0
+        self.accounting: Optional[GuessAccounting] = None
+        self.state: Optional[AttackState] = None
+        self.window_slices: List[Tuple[int, int]] = []
+        self._window_start = 0
+        # stream() only reads the state's accounting; the engine instance
+        # just carries the loop (budgets here are a placeholder)
+        self._engine = AttackEngine(set(), [1], sample_cap=task.sample_cap)
+
+    @property
+    def consumed(self) -> int:
+        """Guesses the shard has accounted so far (crash-safe: reads accounting)."""
+        return self.accounting.total if self.accounting is not None else 0
+
+    def run_chunk(self, quota: int) -> None:
+        """Stream exactly ``quota`` more guesses (or run dry trying).
+
+        The chunk's guesses come from ``spawn_rng(seed,
+        "shard-i-chunk-k")`` through a fresh generator; the accounting
+        gains one checkpoint at the chunk target, so every chunk's
+        contribution lands in its own delta.  Producing fewer than
+        ``quota`` guesses marks the shard dry, releasing its remaining
+        budget to the next re-plan.
+        """
+        target = self.consumed + quota
+        if self.accounting is None:
+            self.accounting = GuessAccounting(
+                self.task.test_set,
+                [target],
+                sample_cap=self.task.sample_cap,
+                track_deltas=True,
+            )
+            self.state = AttackState(self.accounting)
+        else:
+            # extend the shard's checkpoint schedule chunk by chunk; only
+            # live shards get chunks, so targets stay strictly ascending
+            self.accounting.budgets.append(target)
+        rng = spawn_rng(
+            self.task.seed,
+            f"{self.task.label_prefix}shard-{self.index}-chunk-{self.chunk_counter}",
+        )
+        self.chunk_counter += 1
+        progress = (
+            _ShardProgress(self.task.progress) if self.task.progress is not None else None
+        )
+        for _ in self._engine.stream(self.strategy, rng, self.state, progress=progress):
+            pass
+        if self.consumed < target:
+            self.live = False
+
+    def close_window(self) -> None:
+        """Seal the current budget window: flush dry tails, record the slice."""
+        if self.accounting is not None:
+            self.accounting.cut_checkpoint()  # no-op when chunk-aligned
+        count = len(self.accounting.deltas) if self.accounting is not None else 0
+        self.window_slices.append((self._window_start, count))
+        self._window_start = count
+
+    def outcome(self) -> ElasticShardOutcome:
+        """Freeze the run into a mergeable :class:`ElasticShardOutcome`."""
+        accounting = self.accounting
+        out = ElasticShardOutcome(
+            index=self.index,
+            total=self.consumed,
+            batches=self.state.batches if self.state is not None else 0,
+            window_slices=list(self.window_slices),
+            method=self.method,
+            crashed=repr(self.error) if self.error is not None else None,
+        )
+        if accounting is not None:
+            out.deltas = accounting.deltas
+            out.matched_samples = accounting.matched_samples
+            out.non_matched_samples = accounting.non_matched_samples
+            if accounting.mode == "encoded":
+                out.codec = accounting.codec
+        return out
+
+
+def run_elastic(
+    task,
+    planner: ShardPlanner,
+    executor,
+    chunk_size: Optional[int] = None,
+) -> Tuple[List[ElasticShardOutcome], int]:
+    """Drive one attack elastically; returns (outcomes, completed windows).
+
+    ``task`` is the shared :class:`~repro.runtime.executor.ShardTask`;
+    ``executor`` must speak the chunk-chain protocol (``run_chains``:
+    :class:`~repro.runtime.executor.LocalExecutor` or
+    :class:`~repro.runtime.executor.WorkStealingExecutor`).  Every budget
+    window runs as one or more deterministic rounds: live shards receive
+    their re-planned quota as a chain of chunks, the executor runs the
+    chains (stealing freely across shards), and any shortfall left by dry
+    or crashed shards is re-split over the survivors.  The returned count
+    says how many global budgets were fully consumed; the caller emits a
+    close-out row from the remaining deltas when it is short.
+
+    Raises the first shard error when *every* shard crashed (there is
+    nothing left to absorb the budget, and silence would hide the bug).
+    """
+    if not hasattr(executor, "run_chains"):
+        raise ValueError(
+            f"{type(executor).__name__} cannot run elastic schedules; use "
+            "LocalExecutor or WorkStealingExecutor"
+        )
+    runs = [_ShardRun(index, task) for index in range(planner.workers)]
+    completed = 0
+    for j, budget in enumerate(planner.budgets):
+        live = [run for run in runs if run.live]
+        if not live:
+            break
+        plans = planner.replan(
+            [ShardProgress(run.index, run.consumed, run.live) for run in runs],
+            planner.budgets[j:],
+        )
+        quotas = {
+            run.index: plans[run.index].marks[0] - run.consumed
+            for run in runs
+            if run.live
+        }
+        while True:
+            assignments = [
+                (runs[index], quota)
+                for index, quota in sorted(quotas.items())
+                if quota > 0 and runs[index].live
+            ]
+            if not assignments:
+                break
+            chains = [
+                [
+                    (lambda run=run, size=size: run.run_chunk(size))
+                    for size in chunk_quotas(quota, chunk_size)
+                ]
+                for run, quota in assignments
+            ]
+            errors = executor.run_chains(chains)
+            for (run, _), error in zip(assignments, errors):
+                if error is not None:
+                    run.live = False
+                    run.error = error
+                    logger.warning(
+                        "elastic shard %d crashed (%r); re-queueing its "
+                        "remaining budget",
+                        run.index,
+                        error,
+                    )
+            if sum(run.consumed for run in runs) >= budget:
+                break
+            live = [run for run in runs if run.live]
+            if not live:
+                break
+            # released budget flows to the least-loaded survivors first,
+            # mirroring the replan rule (deterministic: depends only on
+            # guess counts, never on timing)
+            dead_total = sum(run.consumed for run in runs if not run.live)
+            targets = balanced_totals(
+                [run.consumed for run in live], budget - dead_total
+            )
+            quotas = {
+                run.index: target - run.consumed
+                for run, target in zip(live, targets)
+            }
+        for run in runs:
+            run.close_window()
+        if sum(run.consumed for run in runs) < budget:
+            break
+        completed = j + 1
+    if runs and all(run.error is not None for run in runs):
+        raise runs[0].error
+    return [run.outcome() for run in runs], completed

@@ -17,6 +17,17 @@ string via the inherited :class:`StrategySource`; only outcomes cross the
 process boundary).  Both produce bit-identical outcomes for a fixed
 ``(seed, workers)``.
 
+Elastic schedules use a second, chunk-level protocol: ``run_chains`` takes
+one ordered *chain* of chunk thunks per shard and runs them with the
+chunks of a chain strictly in order but chains free to interleave.
+:class:`LocalExecutor` implements it sequentially (the deterministic
+reference again); :class:`WorkStealingExecutor` runs the chains over a
+persistent thread pool where any idle worker pulls the next chunk of any
+chain -- work stealing at chunk granularity, so a straggling shard never
+idles the rest of the fleet between checkpoints.  Chunk contents are
+fixed by the elastic plan (each chunk draws from its own named RNG
+stream), so stealing only reorders execution, never results.
+
 Delta transport: shard accounting runs in interned-id key space whenever
 the strategy streams (N, D) index-matrix batches (every smoother-free
 PassFlow strategy does), so checkpoint deltas cross the result queue as
@@ -31,7 +42,10 @@ either, per shard.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import traceback
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Set, Union
 
@@ -122,7 +136,10 @@ class ShardOutcome:
     (``None`` for string shards); the merger uses it to decode keyed
     deltas if a sibling shard fell back to strings.  ``completed`` is how
     many local checkpoints were actually reached (all of them unless the
-    strategy's guess stream was finite and ran dry).
+    strategy's guess stream was finite and ran dry).  ``partial_delta``
+    carries the dry tail -- guesses accounted after the last reached
+    checkpoint -- so the merger's close-out row can report what was
+    actually accounted; it never counts as a completed checkpoint.
     """
 
     index: int
@@ -134,6 +151,7 @@ class ShardOutcome:
     non_matched_samples: List[str] = field(default_factory=list)
     method: Optional[str] = None  # the shard strategy's display name
     codec: Optional[Any] = None  # set when deltas are keyed
+    partial_delta: Optional[Delta] = None  # dry tail past the last checkpoint
 
     @property
     def completed(self) -> int:
@@ -147,7 +165,10 @@ class ShardOutcome:
         Vacuously true for an empty delta list -- an empty shard merges
         cleanly into either key-space or string-space accumulation.
         """
-        return all(isinstance(d, KeyedCheckpointDelta) for d in self.deltas)
+        payloads = list(self.deltas)
+        if self.partial_delta is not None:
+            payloads.append(self.partial_delta)
+        return all(isinstance(d, KeyedCheckpointDelta) for d in payloads)
 
     def reached(self, mark: int) -> bool:
         """Did the shard finish every local checkpoint up to ``mark``?"""
@@ -187,6 +208,11 @@ def execute_shard(task: ShardTask, plan: ShardPlan) -> ShardOutcome:
     progress = _ShardProgress(task.progress) if task.progress is not None else None
     for _ in engine.stream(strategy, rng, state, progress=progress):
         pass
+    if not accounting.done and accounting.cut_checkpoint() is not None:
+        # dry tail: ships separately so it never counts as a reached
+        # checkpoint (reached()/cursor bookkeeping stays mark-aligned)
+        accounting.rows.pop()
+        outcome.partial_delta = accounting.deltas.pop()
     outcome.deltas = accounting.deltas
     outcome.total = accounting.total
     outcome.batches = state.batches
@@ -197,12 +223,126 @@ def execute_shard(task: ShardTask, plan: ShardPlan) -> ShardOutcome:
     return outcome
 
 
+#: One shard's ordered chunk work for a scheduling round: zero-argument
+#: thunks that must run sequentially (they advance the shard's strategy
+#: and accounting state); different chains may interleave freely.
+ChunkChain = Sequence[Callable[[], None]]
+
+
 class LocalExecutor:
     """Runs shards sequentially in-process: the deterministic reference."""
 
     def run(self, task: ShardTask, plans: Sequence[ShardPlan]) -> List[ShardOutcome]:
         """Run every shard in plan order, in this process, and collect outcomes."""
         return [execute_shard(task, plan) for plan in plans]
+
+    def run_chains(self, chains: Sequence[ChunkChain]) -> List[Optional[Exception]]:
+        """Run elastic chunk chains sequentially (chain order, chunk order).
+
+        The reference implementation of the elastic chunk protocol: chunk
+        contents don't depend on interleaving, so running chains one after
+        another produces the same outcomes :class:`WorkStealingExecutor`
+        reaches concurrently.  A chunk that raises retires the rest of its
+        chain; the exception is returned at the chain's slot (``None`` for
+        clean chains) so the elastic driver can re-queue the shard's
+        budget.
+        """
+        errors: List[Optional[Exception]] = [None] * len(chains)
+        for index, chain in enumerate(chains):
+            for thunk in chain:
+                try:
+                    thunk()
+                except Exception as exc:  # noqa: BLE001 - reported to the driver
+                    errors[index] = exc
+                    break
+        return errors
+
+
+class WorkStealingExecutor:
+    """Elastic chunk chains over a persistent work-stealing thread pool.
+
+    Workers pull the next chunk of *any* shard from a shared ready queue;
+    a chain re-enters the queue only after its current chunk finishes, so
+    chunks of one shard never run concurrently (shard strategy state is
+    single-threaded) while chunks of different shards interleave freely.
+    The pool persists across scheduling rounds -- workers pull chunks
+    between checkpoints instead of being re-forked per shard -- and
+    threads share the parent's address space, so strategies, models and
+    test sets need no pickling at all.
+
+    Determinism: every chunk's guesses come from its own named RNG stream
+    and a shard-ordered chunk chain, so which worker runs a chunk (and
+    when) cannot change any shard's guess stream; outcomes are
+    bit-identical to :meth:`LocalExecutor.run_chains`.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = int(workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        """The worker pool, created lazily (and re-created after shutdown)."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-steal"
+            )
+        return self._pool
+
+    def run_chains(self, chains: Sequence[ChunkChain]) -> List[Optional[Exception]]:
+        """Run one round of chunk chains to completion with work stealing.
+
+        Blocks until every chain has either drained or raised.  Returns
+        per-chain exceptions (``None`` for clean chains), mirroring
+        :meth:`LocalExecutor.run_chains`; a raising chunk retires the rest
+        of its chain so the elastic driver can re-plan the shard's
+        remaining budget.
+        """
+        errors: List[Optional[Exception]] = [None] * len(chains)
+        ready = deque(
+            (index, iter(chain)) for index, chain in enumerate(chains) if len(chain)
+        )
+        unfinished = len(ready)
+        condition = threading.Condition()
+
+        def pull() -> None:
+            nonlocal unfinished
+            while True:
+                with condition:
+                    while not ready and unfinished > 0:
+                        condition.wait()
+                    if not ready:
+                        return
+                    index, chain_iter = ready.popleft()
+                    thunk = next(chain_iter, None)
+                    if thunk is None:
+                        unfinished -= 1
+                        condition.notify_all()
+                        continue
+                try:
+                    thunk()
+                except Exception as exc:  # noqa: BLE001 - reported to the driver
+                    with condition:
+                        errors[index] = exc
+                        unfinished -= 1
+                        condition.notify_all()
+                    continue
+                with condition:
+                    ready.append((index, chain_iter))
+                    condition.notify()
+
+        pool = self._ensure_pool()
+        futures = [pool.submit(pull) for _ in range(min(self.workers, len(chains)))]
+        for future in futures:
+            future.result()  # re-raise worker-loop bugs (not chunk errors)
+        return errors
+
+    def shutdown(self) -> None:
+        """Release the worker threads (idempotent; a later run re-creates them)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
 
 def _shard_entry(queue, task: ShardTask, plan: ShardPlan) -> None:

@@ -12,12 +12,28 @@ the same :class:`~repro.core.guesser.BudgetRow` checkpoints the serial
 ``b_j`` every shard has generated exactly its planned mark, so the union of
 their uniques/matches *is* the global accounting state at ``b_j`` guesses.
 
-Determinism: for a fixed ``(seed, workers)`` the report is bit-identical
-across runs and across executors (shard RNG streams are named, merge order
-is shard order).  Reports for different worker counts are equally valid
-Table II/III estimates but not bit-identical to each other -- shard-local
-feedback (Dynamic Sampling's matched-latent memory) and the interleaving
-of guess streams differ.
+Two schedules are supported behind one ``schedule`` knob:
+
+* ``"static"`` (the default): one shard per worker with fixed marks, the
+  merge-at-checkpoint discipline shipped since the first parallel
+  runtime.
+* ``"elastic"``: shards run as chunk chains over a work-stealing pool
+  with checkpoint-aligned re-planning (:mod:`repro.runtime.elastic`);
+  dry or crashed shards release their unconsumed budget back to the live
+  fleet, so the attack still reaches every budget mark.
+
+Determinism: for a fixed ``(seed, workers, schedule)`` the report is
+bit-identical across runs and across executors (shard and chunk RNG
+streams are named, merge order is shard order).  Reports for different
+worker counts or schedules are equally valid Table II/III estimates but
+not bit-identical to each other -- shard-local feedback (Dynamic
+Sampling's matched-latent memory) and the interleaving of guess streams
+differ.
+
+When a run ends with every shard dry before the final budget mark, the
+report closes out with a row at the guesses *actually accounted*
+(including each shard's dry tail) instead of silently truncating -- or
+worse, labeling partial work with the full budget.
 """
 
 from __future__ import annotations
@@ -28,16 +44,19 @@ import numpy as np
 
 from repro.core.guesser import (
     BudgetRow,
+    Delta,
     GuessingReport,
     KeyedCheckpointDelta,
     extend_samples,
 )
+from repro.runtime.elastic import ElasticShardOutcome, run_elastic
 from repro.runtime.executor import (
     LocalExecutor,
     ProcessExecutor,
     ShardOutcome,
     ShardTask,
     StrategyFactory,
+    WorkStealingExecutor,
 )
 from repro.runtime.planner import ShardPlan, ShardPlanner
 from repro.utils.logging import get_logger
@@ -45,9 +64,20 @@ from repro.utils.progress import ProgressReporter
 
 logger = get_logger("runtime.parallel")
 
+SCHEDULES = ("static", "elastic")
 
-def default_executor(workers: int):
-    """Processes when fork is available and useful, else in-process."""
+
+def default_executor(workers: int, schedule: str = "static"):
+    """The executor a schedule wants when the caller doesn't pick one.
+
+    Static schedules fork one process per shard when the platform allows
+    it (else in-process, identical results); elastic schedules run on a
+    work-stealing thread pool -- chunk chains need shared strategy state,
+    which processes cannot migrate -- with the sequential
+    :class:`LocalExecutor` for a single worker.
+    """
+    if schedule == "elastic":
+        return LocalExecutor() if workers <= 1 else WorkStealingExecutor(workers)
     if workers <= 1:
         return LocalExecutor()
     try:
@@ -55,6 +85,61 @@ def default_executor(workers: int):
     except RuntimeError:
         logger.warning("fork unavailable; running %d shards in-process", workers)
         return LocalExecutor()
+
+
+class _DeltaFold:
+    """Cumulative union of shard checkpoint deltas, in key or string space.
+
+    One instance accumulates the global unique/matched state as deltas
+    fold in.  Key space buffers fresh arrays and unions once per
+    :meth:`flush` (one :func:`numpy.union1d` per checkpoint, not per
+    shard delta); string space updates Python sets directly, decoding
+    keyed payloads through their shard codec when a sibling shard fell
+    back to strings.
+    """
+
+    def __init__(self, keyed: bool) -> None:
+        self.keyed = keyed
+        self._unique: set = set()
+        self._matched: set = set()
+        self._unique_keys = np.empty(0, dtype=np.uint64)
+        self._matched_keys = np.empty(0, dtype=np.uint64)
+        self._fresh_unique: List[np.ndarray] = []
+        self._fresh_matched: List[np.ndarray] = []
+
+    def add(self, delta: Delta, codec) -> None:
+        """Fold one delta in (buffered in key space until :meth:`flush`)."""
+        if self.keyed:
+            self._fresh_unique.append(delta.new_unique_keys)
+            self._fresh_matched.append(delta.new_matched_keys)
+            return
+        if isinstance(delta, KeyedCheckpointDelta):
+            delta = delta.decode(codec)
+        self._unique.update(delta.new_unique)
+        self._matched.update(delta.new_matched)
+
+    def flush(self) -> None:
+        """Union buffered key arrays into the cumulative state (key space only)."""
+        if self._fresh_unique:
+            self._unique_keys = np.union1d(
+                self._unique_keys, np.concatenate(self._fresh_unique)
+            )
+            self._fresh_unique = []
+        if self._fresh_matched:
+            self._matched_keys = np.union1d(
+                self._matched_keys, np.concatenate(self._fresh_matched)
+            )
+            self._fresh_matched = []
+
+    @property
+    def unique_count(self) -> int:
+        """Distinct guesses folded so far (call :meth:`flush` first)."""
+        return int(self._unique_keys.size) if self.keyed else len(self._unique)
+
+    @property
+    def matched_count(self) -> int:
+        """Distinct test-set hits folded so far (call :meth:`flush` first)."""
+        return int(self._matched_keys.size) if self.keyed else len(self._matched)
 
 
 class ParallelAttackEngine:
@@ -67,12 +152,28 @@ class ParallelAttackEngine:
         workers: int = 1,
         executor=None,
         sample_cap: int = 16,
+        schedule: str = "static",
+        chunk_size: Optional[int] = None,
     ) -> None:
+        if schedule not in SCHEDULES:
+            raise ValueError(
+                f"schedule must be one of {SCHEDULES}, got {schedule!r}"
+            )
         self.test_set = set(test_set)
         self.planner = ShardPlanner(budgets, workers)  # validates budgets/workers
         self.budgets = self.planner.budgets
         self.workers = self.planner.workers
-        self.executor = executor if executor is not None else default_executor(workers)
+        self.schedule = schedule
+        self.chunk_size = chunk_size
+        self._owns_executor = executor is None
+        self.executor = (
+            executor if executor is not None else default_executor(workers, schedule)
+        )
+        if schedule == "elastic" and not hasattr(self.executor, "run_chains"):
+            raise ValueError(
+                f"{type(self.executor).__name__} cannot run elastic schedules; "
+                "use LocalExecutor or WorkStealingExecutor"
+            )
         self.sample_cap = sample_cap
 
     def run(
@@ -87,10 +188,11 @@ class ParallelAttackEngine:
 
         ``source`` builds one fresh strategy per shard (a
         :class:`~repro.runtime.executor.StrategySource` spec recipe, or any
-        zero-argument factory for in-process executors).  Shard ``i``
-        draws from ``spawn_rng(seed, f"{label}shard-{i}")``.
+        zero-argument factory for in-process executors).  Under the static
+        schedule shard ``i`` draws from ``spawn_rng(seed,
+        f"{label}shard-{i}")``; under the elastic schedule each of its
+        chunks draws from ``spawn_rng(seed, f"{label}shard-{i}-chunk-{k}")``.
         """
-        plans = self.planner.plan()
         task = ShardTask(
             source=source,
             test_set=self.test_set,
@@ -99,16 +201,30 @@ class ParallelAttackEngine:
             label_prefix=label,
             progress=progress,  # per-batch updates inside each shard loop
         )
-        outcomes = self.executor.run(task, plans)
-        if len(outcomes) != len(plans):
-            raise RuntimeError(
-                f"executor returned {len(outcomes)} outcomes for {len(plans)} shards"
+        if self.schedule == "elastic":
+            try:
+                outcomes, completed = run_elastic(
+                    task, self.planner, self.executor, chunk_size=self.chunk_size
+                )
+            finally:
+                if self._owns_executor and hasattr(self.executor, "shutdown"):
+                    # release the pool threads between attacks; the lazy
+                    # pool re-creates itself if this engine runs again
+                    self.executor.shutdown()
+            report = self._merge_elastic(
+                outcomes, completed, self._resolve_method(method, outcomes, source)
             )
-        outcomes = sorted(outcomes, key=lambda outcome: outcome.index)
-        if method is None:
-            shard_methods = [o.method for o in outcomes if o.method]
-            method = shard_methods[0] if shard_methods else self._method_of(source)
-        report = self._merge(plans, outcomes, method)
+        else:
+            plans = self.planner.plan()
+            outcomes = self.executor.run(task, plans)
+            if len(outcomes) != len(plans):
+                raise RuntimeError(
+                    f"executor returned {len(outcomes)} outcomes for {len(plans)} shards"
+                )
+            outcomes = sorted(outcomes, key=lambda outcome: outcome.index)
+            report = self._merge(
+                plans, outcomes, self._resolve_method(method, outcomes, source)
+            )
         if progress is not None:
             # forked shards updated their own copies; reconcile the parent's
             # count before the merged summary line
@@ -119,6 +235,13 @@ class ParallelAttackEngine:
             progress.close(extra=f"{len(outcomes)} shards merged, {matched} matched")
         return report
 
+    def _resolve_method(self, method, outcomes, source: StrategyFactory) -> str:
+        """Explicit method, else the shard strategies' name, else the spec."""
+        if method is not None:
+            return method
+        shard_methods = [o.method for o in outcomes if o.method]
+        return shard_methods[0] if shard_methods else self._method_of(source)
+
     @staticmethod
     def _method_of(source: StrategyFactory) -> str:
         spec = getattr(source, "spec", None)
@@ -126,23 +249,31 @@ class ParallelAttackEngine:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _keyed_merge_possible(outcomes: List[ShardOutcome]) -> bool:
+    def _keyed_merge_possible(outcomes: Sequence) -> bool:
         """Whether every shard's deltas can be unioned in one key space.
 
         Requires every outcome to carry keyed deltas *and* every codec to
-        agree on the packing geometry (vocabulary size and max length fix
-        the key layout); shards of one run always satisfy both, but a
-        string-mode shard -- a baseline strategy, or a run that fell back
-        to strings on its first batch -- forces the string-space path.
+        agree on the full packing scheme -- vocabulary size and max length
+        fix the key layout, and the alphabet's character order fixes which
+        password each key denotes, so all three must match before keys
+        from different shards may be unioned.  Shards of one run always
+        satisfy this, but a string-mode shard -- a baseline strategy, or a
+        run that fell back to strings on its first batch -- or
+        heterogeneous per-shard codecs force the (exact) string-space
+        path.
         """
         if not all(outcome.keyed for outcome in outcomes):
             return False
-        geometries = {
-            (outcome.codec.vocab_size, outcome.codec.max_length)
+        schemes = {
+            (
+                outcome.codec.vocab_size,
+                outcome.codec.max_length,
+                getattr(getattr(outcome.codec, "alphabet", None), "chars", None),
+            )
             for outcome in outcomes
             if outcome.codec is not None
         }
-        return len(geometries) <= 1
+        return len(schemes) <= 1
 
     def _merge(
         self,
@@ -155,25 +286,24 @@ class ParallelAttackEngine:
         Runs entirely in interned-id key space when every shard shipped
         :class:`~repro.core.guesser.KeyedCheckpointDelta` payloads: global
         unique/matched accumulation is then a sorted uint64 array per set
-        and each delta folds in via :func:`numpy.union1d` -- no strings
-        ever materialize.  If any shard fell back to string deltas, keyed
-        payloads are decoded through their shard's codec and the merge
-        runs in string space; either way the row counts are identical
-        (keys and strings are in bijection).
+        and each checkpoint folds in with one :func:`numpy.union1d` -- no
+        strings ever materialize.  If any shard fell back to string
+        deltas, keyed payloads are decoded through their shard's codec and
+        the merge runs in string space; either way the row counts are
+        identical (keys and strings are in bijection).
+
+        A budget some shard never reached gets no row (the strategy ran
+        dry); instead the report closes out with a final row at the
+        guesses actually accounted, folding in every leftover delta and
+        each shard's dry tail (``partial_delta``).
         """
-        keyed = self._keyed_merge_possible(outcomes)
-        unique: set = set()
-        matched: set = set()
-        unique_keys = np.empty(0, dtype=np.uint64)
-        matched_keys = np.empty(0, dtype=np.uint64)
+        fold = _DeltaFold(self._keyed_merge_possible(outcomes))
         cursors = [0] * len(outcomes)
         rows: List[BudgetRow] = []
         test_size = len(self.test_set)
         for j, budget in enumerate(self.budgets):
             complete = True
-            fresh_unique: List[np.ndarray] = []
-            fresh_matched: List[np.ndarray] = []
-            for plan, outcome, k in zip(plans, outcomes, range(len(outcomes))):
+            for k, (plan, outcome) in enumerate(zip(plans, outcomes)):
                 mark = plan.marks[j]
                 if not outcome.reached(mark):
                     complete = False  # finite strategy ran dry mid-shard
@@ -182,39 +312,103 @@ class ParallelAttackEngine:
                     cursors[k] < outcome.completed
                     and outcome.local_budgets[cursors[k]] <= mark
                 ):
-                    delta = outcome.deltas[cursors[k]]
-                    if keyed:
-                        fresh_unique.append(delta.new_unique_keys)
-                        fresh_matched.append(delta.new_matched_keys)
-                    else:
-                        if isinstance(delta, KeyedCheckpointDelta):
-                            delta = delta.decode(outcome.codec)
-                        unique.update(delta.new_unique)
-                        matched.update(delta.new_matched)
+                    fold.add(outcome.deltas[cursors[k]], outcome.codec)
                     cursors[k] += 1
-            if keyed:
-                # one union per budget, not per shard delta: re-sorting the
-                # cumulative array W times per checkpoint is where a
-                # 10^7-key merge would burn its CPU budget
-                if fresh_unique:
-                    unique_keys = np.union1d(unique_keys, np.concatenate(fresh_unique))
-                if fresh_matched:
-                    matched_keys = np.union1d(
-                        matched_keys, np.concatenate(fresh_matched)
-                    )
+            # one union per budget, not per shard delta: re-sorting the
+            # cumulative array W times per checkpoint is where a
+            # 10^7-key merge would burn its CPU budget
+            fold.flush()
             if not complete:
-                break  # mirror the serial engine: no row for an unreached budget
-            n_unique = int(unique_keys.size) if keyed else len(unique)
-            n_matched = int(matched_keys.size) if keyed else len(matched)
-            percent = 100.0 * n_matched / test_size if test_size else 0.0
-            rows.append(
-                BudgetRow(
-                    guesses=budget,
-                    unique=n_unique,
-                    matched=n_matched,
-                    match_percent=percent,
-                )
-            )
+                break  # the close-out row below reports what was accounted
+            rows.append(self._row(budget, fold, test_size))
+        if len(rows) < len(self.budgets):
+            for k, outcome in enumerate(outcomes):
+                for delta in outcome.deltas[cursors[k] :]:
+                    fold.add(delta, outcome.codec)
+                if outcome.partial_delta is not None:
+                    fold.add(outcome.partial_delta, outcome.codec)
+            fold.flush()
+            self._close_out(rows, outcomes, fold, test_size)
+        return self._report(method, rows, outcomes, test_size)
+
+    def _merge_elastic(
+        self,
+        outcomes: List[ElasticShardOutcome],
+        completed: int,
+        method: str,
+    ) -> GuessingReport:
+        """Fold window-grouped elastic deltas into global budget rows.
+
+        Window ``j`` of every shard holds exactly the deltas of the span
+        between global budgets ``j-1`` and ``j`` (the elastic driver cut
+        each shard's accounting at the window close), so the union of all
+        shards' windows ``<= j`` is the global state at ``budgets[j]``.
+        ``completed`` windows get a row each; when the fleet ran dry (or
+        crashed) short of the schedule, the remaining deltas close out
+        into a final row at the guesses actually accounted.
+        """
+        fold = _DeltaFold(self._keyed_merge_possible(outcomes))
+        rows: List[BudgetRow] = []
+        test_size = len(self.test_set)
+        for j in range(completed):
+            for outcome in outcomes:
+                for delta in outcome.window_deltas(j):
+                    fold.add(delta, outcome.codec)
+            fold.flush()
+            rows.append(self._row(self.budgets[j], fold, test_size))
+        if completed < len(self.budgets):
+            for outcome in outcomes:
+                for window in range(completed, len(outcome.window_slices)):
+                    for delta in outcome.window_deltas(window):
+                        fold.add(delta, outcome.codec)
+            fold.flush()
+            self._close_out(rows, outcomes, fold, test_size)
+        return self._report(
+            method,
+            rows,
+            outcomes,
+            test_size,
+            shard_errors=[
+                f"shard {outcome.index}: {outcome.crashed}"
+                for outcome in outcomes
+                if outcome.crashed
+            ],
+        )
+
+    @staticmethod
+    def _row(guesses: int, fold: _DeltaFold, test_size: int) -> BudgetRow:
+        """One merged checkpoint row from the folder's cumulative counts."""
+        matched = fold.matched_count
+        return BudgetRow(
+            guesses=guesses,
+            unique=fold.unique_count,
+            matched=matched,
+            match_percent=100.0 * matched / test_size if test_size else 0.0,
+        )
+
+    def _close_out(
+        self, rows: List[BudgetRow], outcomes, fold: _DeltaFold, test_size: int
+    ) -> None:
+        """Append the guesses-actually-accounted row after a dry run.
+
+        ``fold`` must already hold every delta the shards shipped.  The
+        row is labeled with the summed shard totals -- what was truly
+        attempted -- and is skipped when that adds nothing beyond the last
+        full checkpoint (e.g. every shard dried exactly on a mark).
+        """
+        accounted = sum(outcome.total for outcome in outcomes)
+        if accounted > (rows[-1].guesses if rows else 0):
+            rows.append(self._row(accounted, fold, test_size))
+
+    def _report(
+        self,
+        method: str,
+        rows: List[BudgetRow],
+        outcomes,
+        test_size: int,
+        shard_errors: Optional[List[str]] = None,
+    ) -> GuessingReport:
+        """Assemble the merged report (rows plus shard-order samples)."""
         return GuessingReport(
             method=method,
             test_size=test_size,
@@ -225,6 +419,7 @@ class ParallelAttackEngine:
             matched_samples=self._merge_samples(
                 [outcome.matched_samples for outcome in outcomes]
             ),
+            shard_errors=shard_errors or [],
         )
 
     def _merge_samples(self, per_shard: List[List[str]]) -> List[str]:

@@ -1,11 +1,14 @@
 """Shard planning: split a guess-budget schedule across W workers.
 
-The planner follows the static-split half of the dynamic-load-balancing
-playbook (Liu, *Dynamic Load Balancing Algorithms in Parallel Adaptive
-FEM*): budgets are divided as evenly as possible up front, every shard
-draws from its own named RNG stream (``spawn_rng(seed, "shard-i")``), and
-imbalance is reconciled by merging accounting states at the shared
-checkpoints rather than by migrating work.
+The planner follows both halves of the dynamic-load-balancing playbook
+(Liu, *Dynamic Load Balancing Algorithms in Parallel Adaptive FEM*):
+budgets are divided as evenly as possible up front (:meth:`ShardPlanner.plan`),
+every shard draws from its own named RNG stream
+(``spawn_rng(seed, "shard-i")``), and imbalance is reconciled at the
+shared checkpoints -- by merging accounting states (static schedules), or
+by re-splitting the unconsumed budget over the shards still producing
+(:meth:`ShardPlanner.replan`, the elastic schedule's re-partitioning
+step).
 
 For each global budget ``b`` and shard ``i`` the shard's *mark* is its
 cumulative local quota ``b // W + (1 if i < b % W else 0)``; marks sum to
@@ -13,12 +16,15 @@ cumulative local quota ``b // W + (1 if i < b % W else 0)``; marks sum to
 the union of their accounting states is the global state at exactly ``b``
 guesses -- which is how :class:`~repro.runtime.parallel.ParallelAttackEngine`
 reconstructs serial-shaped :class:`~repro.core.guesser.BudgetRow` rows.
+Re-planned marks keep the same invariant: dead shards are frozen at what
+they actually consumed and live shards absorb the rest, so every budget's
+marks still sum to it exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -30,6 +36,67 @@ def split_budget(budget: int, workers: int, index: int) -> int:
     """Shard ``index``'s share of ``budget`` under an even split."""
     base, remainder = divmod(budget, workers)
     return base + (1 if index < remainder else 0)
+
+
+def balanced_totals(consumed: Sequence[int], target: int) -> List[int]:
+    """Raise each shard's total to reach ``target``, as evenly as possible.
+
+    Bounded water-filling: every entry may only grow (a shard cannot
+    un-guess), the results sum to ``target`` exactly, the maximum is
+    minimized, and leftover units go to the lowest ranks -- the same
+    remainder rule as :func:`split_budget`.  With equal starting totals
+    this *is* ``split_budget``; starting from the marks of a previous
+    budget it reproduces the static plan's marks for the next one, which
+    is what keeps an elastic run without faults bit-identical to the
+    static split.
+    """
+    extra = target - sum(consumed)
+    if extra < 0:
+        raise ValueError(
+            f"target {target} is below the {sum(consumed)} guesses already consumed"
+        )
+    if not consumed:
+        if target:
+            raise ValueError(
+                f"cannot distribute a target of {target} over zero shards"
+            )
+        return []
+    if extra == 0:
+        return list(consumed)
+    # largest water level L with sum(max(c, L)) <= target; f is
+    # non-decreasing in L so binary search applies
+    lo, hi = min(consumed), max(consumed) + extra
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if sum(max(c, mid) for c in consumed) <= target:
+            lo = mid
+        else:
+            hi = mid - 1
+    totals = [max(c, lo) for c in consumed]
+    leftover = target - sum(totals)
+    for rank, c in enumerate(consumed):
+        if leftover == 0:
+            break
+        if totals[rank] == lo:  # sits exactly on the water line
+            totals[rank] += 1
+            leftover -= 1
+    return totals
+
+
+@dataclass(frozen=True)
+class ShardProgress:
+    """One shard's observed progress at a re-planning point.
+
+    ``consumed`` is how many guesses the shard has generated so far;
+    ``live`` turns False once the shard's strategy ran dry (or crashed),
+    which takes it out of every future budget split -- its remaining
+    quota is what :meth:`ShardPlanner.replan` hands back to the live
+    shards.
+    """
+
+    index: int
+    consumed: int
+    live: bool = True
 
 
 @dataclass(frozen=True)
@@ -78,3 +145,59 @@ class ShardPlanner:
             )
             for i in range(self.workers)
         ]
+
+    def replan(
+        self,
+        progress: Sequence[ShardProgress],
+        remaining_budgets: Optional[Sequence[int]] = None,
+    ) -> List[ShardPlan]:
+        """Checkpoint-aligned re-split of unconsumed budget over live shards.
+
+        ``progress`` reports every shard exactly once (any order);
+        ``remaining_budgets`` is the ascending tail of the global schedule
+        still ahead (defaults to the full schedule).  Dead shards are
+        frozen at their consumed totals; for each remaining budget the
+        live shards' totals are raised to cover the rest via
+        :func:`balanced_totals` (bounded water-filling with the same
+        remainder-to-low-ranks rule as :func:`split_budget`), so the
+        returned marks still sum exactly to each budget -- and, when
+        every shard is live and sitting exactly on a previous budget's
+        static marks, the new marks equal the static plan's.  Raises
+        ``ValueError`` when no shard is live, when a budget no longer
+        covers what was already consumed, or when the progress roster is
+        incomplete -- a replan that cannot keep the marks-sum invariant
+        must not silently produce a lopsided plan.
+        """
+        roster = sorted(progress, key=lambda p: p.index)
+        if [p.index for p in roster] != list(range(self.workers)):
+            raise ValueError(
+                f"replan needs progress for each of {self.workers} shards exactly once"
+            )
+        if any(p.consumed < 0 for p in roster):
+            raise ValueError("consumed guess counts must be non-negative")
+        remaining = validate_budgets(
+            list(remaining_budgets) if remaining_budgets is not None else self.budgets
+        )
+        consumed_total = sum(p.consumed for p in roster)
+        if remaining[0] < consumed_total:
+            raise ValueError(
+                f"budget {remaining[0]} no longer covers the {consumed_total} "
+                "guesses already consumed"
+            )
+        live = [p for p in roster if p.live]
+        if not live:
+            raise ValueError("no live shards left to absorb the remaining budget")
+        dead_total = consumed_total - sum(p.consumed for p in live)
+        per_budget = [
+            balanced_totals([p.consumed for p in live], b - dead_total)
+            for b in remaining
+        ]
+        ranks = {p.index: rank for rank, p in enumerate(live)}
+        plans = []
+        for p in roster:
+            if p.live:
+                marks = [totals[ranks[p.index]] for totals in per_budget]
+            else:
+                marks = [p.consumed] * len(remaining)
+            plans.append(ShardPlan(index=p.index, marks=marks))
+        return plans

@@ -16,6 +16,14 @@ from repro.data.dataset import PasswordDataset
 from repro.data.synthetic import SyntheticConfig, SyntheticRockYou
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: stress tests excluded from the default CI tier-1 run "
+        "(select with -m slow)",
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

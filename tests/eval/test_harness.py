@@ -85,3 +85,46 @@ class TestContext:
         a = tiny_ctx.attack_rng("x").normal()
         b = tiny_ctx.attack_rng("x").normal()
         assert a == b
+
+
+class TestScheduleSelection:
+    def test_default_is_static(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_ATTACK_SCHEDULE", raising=False)
+        assert EvalContext(PROFILES["tiny"], cache_dir=tmp_path).schedule == "static"
+
+    def test_env_selects_elastic(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ATTACK_SCHEDULE", "elastic")
+        assert EvalContext(PROFILES["tiny"], cache_dir=tmp_path).schedule == "elastic"
+
+    def test_argument_overrides_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ATTACK_SCHEDULE", "elastic")
+        ctx = EvalContext(PROFILES["tiny"], cache_dir=tmp_path, schedule="static")
+        assert ctx.schedule == "static"
+
+    def test_unknown_schedule_rejected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ATTACK_SCHEDULE", "eager")
+        with pytest.raises(ValueError, match="schedule"):
+            EvalContext(PROFILES["tiny"], cache_dir=tmp_path)
+
+    def test_run_attack_routes_elastic_through_parallel_engine(
+        self, tmp_path, monkeypatch
+    ):
+        """workers=1 + elastic must not fall back to the serial engine."""
+        from repro.runtime import ParallelAttackEngine
+
+        seen = {}
+        original = ParallelAttackEngine.__init__
+
+        def spy(self, *args, **kwargs):
+            seen["schedule"] = kwargs.get("schedule")
+            original(self, *args, **kwargs)
+
+        monkeypatch.setattr(ParallelAttackEngine, "__init__", spy)
+        monkeypatch.setattr(ParallelAttackEngine, "run", lambda self, *a, **k: "ran")
+        ctx = EvalContext(PROFILES["tiny"], cache_dir=tmp_path, schedule="elastic")
+        # corpus-only strategy: no model training needed for the routing check
+        monkeypatch.setattr(
+            EvalContext, "test_set", property(lambda self: {"pw1", "pw2"})
+        )
+        assert ctx.run_attack("markov:2", label="route-check") == "ran"
+        assert seen["schedule"] == "elastic"

@@ -156,8 +156,14 @@ class TestExecuteShard:
         assert outcome.reached(plans[0].marks[-1])
         assert outcome.total == plans[0].marks[-1]
 
-    def test_finite_strategy_truncates_rows(self):
-        """A guess stream that runs dry yields rows only for reached budgets."""
+    def test_finite_strategy_closes_out_with_accounted_guesses(self):
+        """A dry run keeps reached budgets and closes out at the true total.
+
+        Two shards of 40 guesses each reach the 20-guess budget but dry
+        out far short of 200; the final row must report the 80 guesses
+        actually accounted (including each shard's post-checkpoint tail),
+        not the 200 that were merely scheduled.
+        """
         from repro.strategies.base import GuessBatch, GuessingStrategy
 
         class Finite(GuessingStrategy):
@@ -172,4 +178,44 @@ class TestExecuteShard:
         report = ParallelAttackEngine(
             {"x1"}, [20, 200], workers=2, executor=LocalExecutor()
         ).run(Finite, seed=3)
-        assert [row.guesses for row in report.rows] == [20]
+        assert [(row.guesses, row.unique, row.matched) for row in report.rows] == [
+            (20, 10, 1),
+            (80, 40, 1),
+        ]
+
+    def test_dry_exactly_on_checkpoint_gets_no_close_out_row(self):
+        """No phantom row when the stream dries exactly on a reached mark."""
+        from repro.strategies.base import GuessBatch, GuessingStrategy
+
+        class TenEach(GuessingStrategy):
+            name = "ten"
+
+            def __init__(self):
+                super().__init__(spec="ten")
+
+            def iter_guesses(self, rng):
+                yield GuessBatch([f"y{i}" for i in range(10)])
+
+        report = ParallelAttackEngine(
+            {"y1"}, [20, 200], workers=2, executor=LocalExecutor()
+        ).run(TenEach, seed=3)
+        assert [(row.guesses, row.unique) for row in report.rows] == [(20, 10)]
+
+    def test_close_out_matches_process_executor(self):
+        """Partial deltas survive the fork boundary bit-identically."""
+        source = StrategySource("drying?limit=35&batch=16")
+        local = ParallelAttackEngine(
+            set(f"g{n:07d}" for n in range(0, 100, 3)),
+            [20, 500],
+            workers=2,
+            executor=LocalExecutor(),
+        ).run(source, seed=3)
+        forked = ParallelAttackEngine(
+            set(f"g{n:07d}" for n in range(0, 100, 3)),
+            [20, 500],
+            workers=2,
+            executor=ProcessExecutor(),
+        ).run(source, seed=3)
+        assert [row.guesses for row in local.rows] == [20, 70]
+        assert rows_of(local) == rows_of(forked)
+        assert local.matched_samples == forked.matched_samples

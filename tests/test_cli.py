@@ -109,6 +109,39 @@ class TestAttack:
         assert reports[0]["rows"] == reports[1]["rows"]
         assert reports[0]["workers"] == 2
 
+    def test_elastic_schedule_deterministic(self, corpus_file, tmp_path, capsys):
+        import json
+
+        reports = []
+        for name in ("ea.json", "eb.json"):
+            path = tmp_path / name
+            assert main(
+                [
+                    "attack",
+                    "--corpus", str(corpus_file),
+                    "--strategy", "markov:3",
+                    "--budgets", "100,300",
+                    "--workers", "2",
+                    "--schedule", "elastic",
+                    "--report", str(path),
+                ]
+            ) == 0
+            reports.append(json.loads(path.read_text()))
+        assert reports[0]["rows"] == reports[1]["rows"]
+        assert reports[0]["schedule"] == "elastic"
+        assert [row["guesses"] for row in reports[0]["rows"]] == [100, 300]
+
+    def test_unknown_schedule_rejected(self, corpus_file):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "attack",
+                    "--corpus", str(corpus_file),
+                    "--strategy", "markov:3",
+                    "--schedule", "eager",
+                ]
+            )
+
     def test_workers_must_be_positive(self, corpus_file):
         with pytest.raises(SystemExit):
             main(
