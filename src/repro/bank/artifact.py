@@ -1,0 +1,315 @@
+"""On-disk guess-bank artifacts: packed key arrays plus a JSON manifest.
+
+A bank is a directory holding one strategy's ranked guess stream,
+materialized once and replayed everywhere:
+
+* ``keys.npy`` -- the stream as uint64 interned-id keys in generation
+  order (the :meth:`~repro.data.encoding.PasswordEncoder.pack_indices`
+  layout, identical to :class:`~repro.core.guesser.KeyedCheckpointDelta`
+  payloads).  Loaded with ``mmap_mode="r"`` so replaying shards never
+  page in more than the slices they read.
+* ``segments.npy`` -- cumulative batch-end offsets (int64), recording the
+  order-preserving segments the stream was written in.
+* ``manifest.json`` -- the identity key ``(spec, seed, rng_label,
+  alphabet, budget)`` plus a codec header (alphabet characters, max
+  length, pack geometry) sufficient to rebuild the exact
+  :class:`~repro.data.encoding.PasswordEncoder` in a fresh process, and a
+  SHA-256 checksum of ``keys.npy``.
+
+Artifacts are byte-deterministic: the same ``(strategy, seed, budget)``
+build writes identical files (no timestamps, sorted JSON keys), so banks
+can be diffed, cached and content-addressed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.data.alphabet import Alphabet
+from repro.data.encoding import PasswordEncoder
+
+FORMAT = "repro-guess-bank"
+VERSION = 1
+
+KEYS_NAME = "keys.npy"
+SEGMENTS_NAME = "segments.npy"
+MANIFEST_NAME = "manifest.json"
+
+#: Chunk length (keys) for streaming checksum/round-trip passes, so
+#: ``verify`` never materializes the whole array either.
+_VERIFY_CHUNK = 1 << 16
+
+
+class BankError(RuntimeError):
+    """Unusable bank artifact: missing, corrupt, or wrong for the request."""
+
+
+def codec_header(codec: PasswordEncoder) -> Dict[str, object]:
+    """The manifest's codec header: everything needed to rebuild ``codec``."""
+    return {
+        "alphabet": codec.alphabet.chars,
+        "max_length": int(codec.max_length),
+        "pack_bits": int(codec.pack_bits),
+        "vocab_size": int(codec.vocab_size),
+    }
+
+
+def codec_from_header(header: Dict[str, object]) -> PasswordEncoder:
+    """Rebuild the exact :class:`PasswordEncoder` a codec header describes.
+
+    The redundant geometry fields (``pack_bits``, ``vocab_size``) are
+    cross-checked against the rebuilt encoder so a hand-edited or corrupt
+    manifest fails loudly instead of silently reinterpreting keys.
+    """
+    try:
+        alphabet = Alphabet(str(header["alphabet"]))
+        codec = PasswordEncoder(alphabet, max_length=int(header["max_length"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise BankError(f"unusable codec header: {exc}") from exc
+    if codec.pack_bits is None:
+        raise BankError(
+            "codec header describes an unpackable geometry "
+            f"({codec.vocab_size}-way alphabet x {codec.max_length} symbols)"
+        )
+    if int(header.get("pack_bits", codec.pack_bits)) != codec.pack_bits or int(
+        header.get("vocab_size", codec.vocab_size)
+    ) != codec.vocab_size:
+        raise BankError(
+            "codec header is internally inconsistent (pack geometry does "
+            "not match its alphabet/max_length)"
+        )
+    return codec
+
+
+def same_codec(a, b) -> bool:
+    """Whether two codecs intern passwords to the same uint64 keys."""
+    return (
+        a.vocab_size == b.vocab_size
+        and a.max_length == b.max_length
+        and getattr(getattr(a, "alphabet", None), "chars", None)
+        == getattr(getattr(b, "alphabet", None), "chars", None)
+    )
+
+
+def _sha256_of(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def write_bank(
+    path: Union[str, Path],
+    keys: np.ndarray,
+    segment_ends: Sequence[int],
+    *,
+    codec: PasswordEncoder,
+    spec: str,
+    method: str,
+    seed: int,
+    rng_label: str = "",
+) -> "GuessBank":
+    """Write a bank artifact directory and return it re-opened (mmapped).
+
+    ``keys`` is the full guess stream as uint64 interned ids in generation
+    order; ``segment_ends`` the cumulative batch boundaries (last entry ==
+    ``len(keys)``).  Existing artifact files at ``path`` are overwritten --
+    builds are deterministic, so rewriting is idempotent.
+    """
+    keys = np.ascontiguousarray(keys, dtype=np.uint64)
+    if keys.ndim != 1 or keys.size == 0:
+        raise BankError("a bank needs a non-empty 1-D uint64 key stream")
+    ends = np.asarray(list(segment_ends), dtype=np.int64)
+    if ends.size == 0 or int(ends[-1]) != keys.size or (np.diff(ends) <= 0).any() or ends[0] <= 0:
+        raise BankError("segment_ends must be increasing and end at len(keys)")
+    if codec.pack_bits is None:
+        raise BankError("bank codec must support 64-bit packing")
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    np.save(path / KEYS_NAME, keys)
+    np.save(path / SEGMENTS_NAME, ends)
+    manifest = {
+        "format": FORMAT,
+        "version": VERSION,
+        "spec": spec,
+        "method": method,
+        "seed": int(seed),
+        "rng_label": rng_label,
+        "total": int(keys.size),
+        "unique": int(np.unique(keys).size),
+        "segments": int(ends.size),
+        "codec": codec_header(codec),
+        "sha256": _sha256_of(path / KEYS_NAME),
+    }
+    (path / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
+    return GuessBank.open(path)
+
+
+class GuessBank:
+    """A read-only, memory-mapped view of one bank artifact directory.
+
+    ``keys`` is the uint64 stream opened with ``numpy.load(...,
+    mmap_mode="r")``: strided or contiguous slices of it are views into
+    the file, so a shard replaying positions ``i, i+W, i+2W, ...`` only
+    ever pages in the chunks it actually unpacks.
+    """
+
+    def __init__(self, path: Path, manifest: Dict[str, object], keys: np.ndarray) -> None:
+        self.path = path
+        self.manifest = manifest
+        self.keys = keys
+        self.codec = codec_from_header(manifest["codec"])
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "GuessBank":
+        """Memory-map the artifact at ``path`` (read-only), validating it."""
+        path = Path(path)
+        manifest_path = path / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise BankError(f"no bank at {path} (missing {MANIFEST_NAME})")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except ValueError as exc:
+            raise BankError(f"unreadable manifest at {manifest_path}: {exc}") from exc
+        if manifest.get("format") != FORMAT:
+            raise BankError(f"{manifest_path} is not a {FORMAT} manifest")
+        if int(manifest.get("version", -1)) != VERSION:
+            raise BankError(
+                f"bank {path} has format version {manifest.get('version')!r}; "
+                f"this build reads version {VERSION}"
+            )
+        try:
+            keys = np.load(path / KEYS_NAME, mmap_mode="r")
+        except (OSError, ValueError) as exc:
+            raise BankError(f"cannot map {path / KEYS_NAME}: {exc}") from exc
+        if keys.dtype != np.uint64 or keys.ndim != 1:
+            raise BankError(f"{path / KEYS_NAME} is not a 1-D uint64 array")
+        if keys.size != int(manifest.get("total", -1)):
+            raise BankError(
+                f"bank {path}: manifest total {manifest.get('total')} != "
+                f"{keys.size} stored keys"
+            )
+        return cls(path, manifest, keys)
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Stream length: the budget the bank was materialized at."""
+        return int(self.manifest["total"])
+
+    @property
+    def unique(self) -> int:
+        """Distinct keys in the full stream (from the manifest)."""
+        return int(self.manifest["unique"])
+
+    @property
+    def spec(self) -> str:
+        """Canonical spec of the strategy the stream was sampled from."""
+        return str(self.manifest["spec"])
+
+    @property
+    def method(self) -> str:
+        """Report display name of the banked strategy (e.g. ``Markov-3``)."""
+        return str(self.manifest["method"])
+
+    @property
+    def seed(self) -> int:
+        """The RNG seed the stream was sampled under."""
+        return int(self.manifest["seed"])
+
+    @property
+    def rng_label(self) -> str:
+        """The ``spawn_rng`` label of the build ("" = root ``default_rng``)."""
+        return str(self.manifest.get("rng_label", ""))
+
+    def replay_spec(self) -> str:
+        """The ``bank:<path>`` spec string that replays this artifact."""
+        from repro.strategies.registry import format_spec
+
+        return format_spec("bank", str(self.path))
+
+    # ------------------------------------------------------------------
+    def verify(self) -> List[str]:
+        """Integrity-check the artifact; returns problems (empty == OK).
+
+        Checks the keys checksum against the manifest, the segment table's
+        shape, and that every key is canonical (``pack(unpack(k)) == k``,
+        chunked so the pass streams through the mmap) -- a key with
+        garbage outside its pack geometry would silently denote a
+        different password under a rebuilt codec.
+        """
+        problems: List[str] = []
+        digest = _sha256_of(self.path / KEYS_NAME)
+        if digest != self.manifest.get("sha256"):
+            problems.append(
+                f"keys checksum mismatch: manifest {self.manifest.get('sha256')}, "
+                f"file {digest}"
+            )
+        segments_path = self.path / SEGMENTS_NAME
+        if not segments_path.is_file():
+            problems.append(f"missing {SEGMENTS_NAME}")
+        else:
+            ends = np.load(segments_path)
+            if (
+                ends.ndim != 1
+                or ends.size == 0
+                or int(ends[-1]) != self.total
+                or (np.diff(ends) <= 0).any()
+                or int(ends[0]) <= 0
+            ):
+                problems.append("segment table is not increasing up to total")
+            elif int(self.manifest.get("segments", -1)) != ends.size:
+                problems.append(
+                    f"manifest records {self.manifest.get('segments')} segments, "
+                    f"table has {ends.size}"
+                )
+        unique_seen = 0
+        blocks = []
+        for start in range(0, self.total, _VERIFY_CHUNK):
+            chunk = np.asarray(self.keys[start : start + _VERIFY_CHUNK])
+            round_trip = self.codec.pack_indices(self.codec.unpack_keys(chunk))
+            if (round_trip != chunk).any():
+                problems.append(
+                    f"non-canonical key at position "
+                    f"{start + int(np.argmax(round_trip != chunk))}"
+                )
+                break
+            blocks.append(np.unique(chunk))
+        else:
+            if blocks:
+                unique_seen = int(np.unique(np.concatenate(blocks)).size)
+            if unique_seen != self.unique:
+                problems.append(
+                    f"manifest records {self.unique} unique keys, stream has "
+                    f"{unique_seen}"
+                )
+        return problems
+
+    def describe_lines(self) -> List[str]:
+        """Human-readable manifest summary (the ``bank info`` body)."""
+        header = self.manifest["codec"]
+        return [
+            f"path:       {self.path}",
+            f"spec:       {self.spec}",
+            f"method:     {self.method}",
+            f"seed:       {self.seed}",
+            f"rng_label:  {self.rng_label or '(root rng)'}",
+            f"total:      {self.total}",
+            f"unique:     {self.unique}",
+            f"segments:   {self.manifest.get('segments')}",
+            f"alphabet:   {len(header['alphabet'])} chars + PAD "
+            f"(vocab {header['vocab_size']})",
+            f"max_length: {header['max_length']}",
+            f"pack_bits:  {header['pack_bits']} "
+            f"({header['pack_bits'] * header['max_length']} of 64 used)",
+            f"sha256:     {self.manifest['sha256']}",
+        ]

@@ -10,7 +10,11 @@ Every workflow in the library is reachable from the shell::
         --strategy "passflow:dynamic+gs?alpha=1&sigma=0.12" --budgets 1000,10000
     python -m repro attack --corpus corpus.txt --strategy markov:3 \
         --workers 4 --report report.json
-    python -m repro strategies
+    python -m repro bank build --strategy markov:3 --corpus corpus.txt \
+        --budget 50000 --out markov3.bank
+    python -m repro attack --bank markov3.bank --corpus corpus.txt \
+        --workers 2 --budgets 1000,10000
+    python -m repro strategies --bankable
     python -m repro interpolate --model model.npz jimmy91 123456
     python -m repro conditional --model model.npz "love**"
     python -m repro strength --model model.npz --corpus corpus.txt love12 x9$kQ
@@ -32,6 +36,12 @@ stdout table.  Shard workers account in interned-id key space whenever
 the strategy streams index-matrix batches, so checkpoint deltas cross the
 worker queue as packed uint64 arrays; see ``docs/parallel.md`` for the
 sharding model and how to pick ``--workers`` and ``--schedule``.
+
+``bank build`` materializes a strategy's ranked guess stream once as a
+memory-mapped artifact of packed uint64 keys, ``bank info``/``bank
+verify`` inspect and check one, and ``attack --bank path.bank`` replays
+it -- bit-identical to the live-sampled run for fixed ``(seed,
+budgets)`` across worker counts and schedules; see ``docs/bank.md``.
 """
 
 from __future__ import annotations
@@ -44,6 +54,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.bank import BankError, GuessBank, build_bank, replay_attack
 from repro.core.conditional import ConditionalGuesser
 from repro.core.guesser import validate_budgets
 from repro.core.interpolation import interpolate
@@ -62,6 +73,7 @@ from repro.strategies import (
     available_strategies,
     build,
     parse_spec,
+    strategy_catalog,
     take,
 )
 from repro.utils.logging import enable_console_logging
@@ -78,6 +90,44 @@ def _alphabet(name: str):
 
 def _read_corpus(path: str, alphabet) -> List[str]:
     return load_password_file(path, alphabet=alphabet)
+
+
+def _parse_budgets(raw: str) -> List[int]:
+    """Parse and validate a ``--budgets`` comma list (SystemExit on misuse)."""
+    try:
+        budgets = sorted(int(b) for b in raw.split(",") if b.strip())
+    except ValueError:
+        raise SystemExit("--budgets must be comma-separated integers")
+    try:
+        validate_budgets(budgets)
+    except ValueError as exc:
+        raise SystemExit(f"--budgets: {exc}")
+    return budgets
+
+
+def _emit_attack_report(report, args, budgets: List[int], described: str) -> None:
+    """Shared ``attack`` tail: stdout table, shard warnings, JSON report."""
+    rows = [
+        [row.guesses, row.unique, row.matched, round(row.match_percent, 2)]
+        for row in report.rows
+    ]
+    print(f"method: {report.method}")
+    print(format_table(["guesses", "unique", "matched", "% of test"], rows))
+    for error in report.shard_errors:
+        print(
+            f"warning: {error} (its budget was re-absorbed by the surviving shards)",
+            file=sys.stderr,
+        )
+    if args.report:
+        payload = report.as_dict()
+        payload["budgets"] = budgets
+        payload["seed"] = args.seed
+        payload["workers"] = args.workers
+        payload["schedule"] = args.schedule
+        payload["strategy"] = described
+        out = Path(args.report)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"report written to {out}")
 
 
 # ----------------------------------------------------------------------
@@ -176,14 +226,60 @@ def cmd_sample(args) -> int:
     return 0
 
 
+def _attack_from_bank(args) -> int:
+    """``attack --bank``: replay a prebuilt artifact instead of sampling."""
+    try:
+        bank = GuessBank.open(args.bank)
+    except BankError as exc:
+        raise SystemExit(str(exc))
+    alphabet = bank.codec.alphabet
+    corpus = _read_corpus(args.corpus, alphabet)
+    # same train/test split and cleaning as the live attack path, through
+    # the bank's own codec, so replay targets match the live run's exactly
+    split = int(len(corpus) * 0.5)
+    train_half = corpus[:split] or corpus
+    dataset = PasswordDataset(train_half, corpus[split:], bank.codec)
+    test_set = dataset.test_set
+    budgets = _parse_budgets(args.budgets)
+    if budgets[-1] > bank.total:
+        raise SystemExit(
+            f"bank {bank.path} holds {bank.total} guesses; "
+            f"largest budget {budgets[-1]} cannot be replayed"
+        )
+    workers = "" if args.workers == 1 else f" across {args.workers} workers"
+    elastic = "" if args.schedule == "static" else f" ({args.schedule} schedule)"
+    print(
+        f"attacking {len(test_set)} cleaned targets by replaying "
+        f"{bank.path} ({bank.method}, {bank.total} banked guesses), "
+        f"budgets {budgets}{workers}{elastic}"
+    )
+    progress = ProgressReporter(total=budgets[-1], label="attack")
+    try:
+        report = replay_attack(
+            bank,
+            test_set,
+            budgets,
+            workers=args.workers,
+            schedule=args.schedule,
+            seed=args.seed,
+            progress=progress,
+        )
+    except BankError as exc:
+        raise SystemExit(str(exc))
+    _emit_attack_report(report, args, budgets, bank.replay_spec())
+    return 0
+
+
 def cmd_attack(args) -> int:
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    if args.bank:
+        return _attack_from_bank(args)
     spec = _spec_from_args(args)
     try:
         parsed = parse_spec(spec)
     except SpecError as exc:
         raise SystemExit(str(exc))
-    if args.workers < 1:
-        raise SystemExit("--workers must be >= 1")
     model = PassFlow.load(args.model) if args.model else None
     if parsed.family == "passflow" and model is None:
         raise SystemExit("passflow strategies need --model <checkpoint.npz>")
@@ -196,14 +292,7 @@ def cmd_attack(args) -> int:
     train_half = corpus[:split] or corpus
     dataset = PasswordDataset(train_half, corpus[split:], encoder)
     test_set = dataset.test_set
-    try:
-        budgets = sorted(int(b) for b in args.budgets.split(",") if b.strip())
-    except ValueError:
-        raise SystemExit("--budgets must be comma-separated integers")
-    try:
-        validate_budgets(budgets)
-    except ValueError as exc:
-        raise SystemExit(f"--budgets: {exc}")
+    budgets = _parse_budgets(args.budgets)
 
     source = StrategySource(spec, model=model, corpus=train_half, alphabet=alphabet)
     try:
@@ -237,33 +326,100 @@ def cmd_attack(args) -> int:
     except SpecError as exc:
         raise SystemExit(str(exc))
 
-    rows = [
-        [row.guesses, row.unique, row.matched, round(row.match_percent, 2)]
-        for row in report.rows
-    ]
-    print(f"method: {report.method}")
-    print(format_table(["guesses", "unique", "matched", "% of test"], rows))
-    for error in report.shard_errors:
-        print(
-            f"warning: {error} (its budget was re-absorbed by the surviving shards)",
-            file=sys.stderr,
+    _emit_attack_report(report, args, budgets, described)
+    return 0
+
+
+def cmd_bank_build(args) -> int:
+    """``bank build``: materialize a strategy's stream into an artifact.
+
+    Mirrors ``attack``'s model/alphabet/corpus-train-half resolution so
+    the banked stream is the one a live attack with the same flags would
+    sample.
+    """
+    try:
+        parsed = parse_spec(args.strategy)
+    except SpecError as exc:
+        raise SystemExit(str(exc))
+    model = PassFlow.load(args.model) if args.model else None
+    if parsed.family == "passflow" and model is None:
+        raise SystemExit("passflow strategies need --model <checkpoint.npz>")
+    alphabet = model.alphabet if model is not None else _alphabet(args.alphabet)
+    encoder = model.encoder if model is not None else PasswordEncoder(alphabet)
+    train_half: Optional[List[str]] = None
+    if args.corpus:
+        corpus = _read_corpus(args.corpus, alphabet)
+        split = int(len(corpus) * 0.5)
+        train_half = corpus[:split] or corpus
+    try:
+        strategy = build(
+            parsed, model=model, corpus=train_half, alphabet=alphabet
         )
-    if args.report:
-        payload = report.as_dict()
-        payload["budgets"] = budgets
-        payload["seed"] = args.seed
-        payload["workers"] = args.workers
-        payload["schedule"] = args.schedule
-        payload["strategy"] = described
-        out = Path(args.report)
-        out.write_text(json.dumps(payload, indent=2) + "\n")
-        print(f"report written to {out}")
+    except SpecError as exc:
+        raise SystemExit(str(exc))
+    progress = ProgressReporter(total=args.budget, label="bank")
+    try:
+        bank = build_bank(
+            strategy,
+            args.budget,
+            args.out,
+            seed=args.seed,
+            rng_label=args.rng_label,
+            encoder=encoder,
+            force=args.force,
+            progress=progress,
+        )
+    except BankError as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"banked {bank.total} guesses ({bank.unique} unique) from "
+        f"{bank.spec} into {bank.path}"
+    )
+    print(f"replay with: attack --bank {bank.path}  (or spec {bank.replay_spec()!r})")
+    return 0
+
+
+def cmd_bank_info(args) -> int:
+    """``bank info``: print an artifact's manifest summary."""
+    try:
+        bank = GuessBank.open(args.path)
+    except BankError as exc:
+        raise SystemExit(str(exc))
+    for line in bank.describe_lines():
+        print(line)
+    return 0
+
+
+def cmd_bank_verify(args) -> int:
+    """``bank verify``: integrity-check an artifact (exit 1 on problems)."""
+    try:
+        bank = GuessBank.open(args.path)
+    except BankError as exc:
+        raise SystemExit(str(exc))
+    problems = bank.verify()
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print(
+        f"ok: {bank.path} ({bank.total} guesses, {bank.unique} unique, "
+        f"sha256 and key canonicality verified)"
+    )
     return 0
 
 
 def cmd_strategies(args) -> int:
-    rows = [[family, summary] for family, summary in available_strategies().items()]
-    print(format_table(["family", "description"], rows))
+    if args.bankable:
+        rows = [
+            [family, summary, bankable]
+            for family, (summary, bankable) in strategy_catalog().items()
+        ]
+        print(format_table(["family", "description", "bankable"], rows))
+    else:
+        rows = [
+            [family, summary] for family, summary in available_strategies().items()
+        ]
+        print(format_table(["family", "description"], rows))
     print(
         "\nspec grammar: family[:variant][?key=value&...]   e.g. "
         "passflow:dynamic+gs?alpha=1&sigma=0.12, markov:3, rules?wordlist=300"
@@ -401,9 +557,69 @@ def build_parser() -> argparse.ArgumentParser:
         "--report",
         help="write the full GuessingReport (rows + samples) as JSON here",
     )
+    p.add_argument(
+        "--bank",
+        help="replay a prebuilt guess-bank artifact instead of sampling a "
+        "strategy (bit-identical to the banked run for fixed seed/budgets; "
+        "--model/--strategy are ignored)",
+    )
     p.set_defaults(func=cmd_attack)
 
+    p = sub.add_parser(
+        "bank", help="build, inspect and verify memory-mapped guess banks"
+    )
+    bank_sub = p.add_subparsers(dest="bank_command", required=True)
+
+    b = bank_sub.add_parser(
+        "build", help="materialize a strategy's ranked guess stream to disk"
+    )
+    b.add_argument(
+        "--strategy",
+        required=True,
+        help="registry spec to bank (markov:3, passflow:static?...); "
+        "feedback-driven specs need --force",
+    )
+    b.add_argument("--budget", type=int, required=True, help="guesses to bank")
+    b.add_argument("--out", required=True, help="artifact directory to write")
+    b.add_argument("--model", help="PassFlow checkpoint (required for passflow specs)")
+    b.add_argument(
+        "--corpus",
+        help="password file; its train half feeds corpus-trained strategies, "
+        "matching the attack command's split",
+    )
+    b.add_argument("--alphabet", default="compact", help="used when no --model is given")
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument(
+        "--rng-label",
+        default="",
+        help="named RNG stream label ('' = the serial attack's default_rng; "
+        "the eval harness uses labels like attack-table2)",
+    )
+    b.add_argument(
+        "--force",
+        action="store_true",
+        help="bank a non-replayable (feedback-driven) strategy's "
+        "feedback-free stream anyway",
+    )
+    b.set_defaults(func=cmd_bank_build)
+
+    b = bank_sub.add_parser("info", help="print a bank artifact's manifest summary")
+    b.add_argument("path")
+    b.set_defaults(func=cmd_bank_info)
+
+    b = bank_sub.add_parser(
+        "verify", help="integrity-check a bank artifact (exit 1 on problems)"
+    )
+    b.add_argument("path")
+    b.set_defaults(func=cmd_bank_verify)
+
     p = sub.add_parser("strategies", help="list the registered strategy families")
+    p.add_argument(
+        "--bankable",
+        action="store_true",
+        help="add a column showing which families are deterministic-replayable "
+        "(usable with `bank build` without --force)",
+    )
     p.set_defaults(func=cmd_strategies)
 
     p = sub.add_parser("interpolate", help="latent interpolation between two passwords")

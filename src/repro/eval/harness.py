@@ -34,11 +34,20 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.bank import (
+    BANK_DIR_ENV,
+    BankError,
+    bank_path_for,
+    build_bank,
+    replay_attack,
+    resolve_bank,
+)
 from repro.baselines import CWAE, CWAEConfig, MarkovModel, PCFGModel, PassGAN, PassGANConfig
 from repro.core.guesser import GuessingReport
 from repro.core.model import PassFlow, PassFlowConfig
 from repro.data.alphabet import Alphabet, compact_alphabet
 from repro.data.dataset import PasswordDataset
+from repro.data.encoding import PasswordEncoder
 from repro.data.synthetic import SyntheticConfig, SyntheticRockYou
 from repro.runtime import ParallelAttackEngine, StrategySource
 from repro.strategies import AttackEngine, GuessingStrategy, parse_spec
@@ -153,6 +162,7 @@ class EvalContext:
         alphabet: Optional[Alphabet] = None,
         workers: Optional[int] = None,
         schedule: Optional[str] = None,
+        bank_dir: Optional[Path | str] = None,
     ) -> None:
         self.settings = settings or settings_from_env()
         self.cache_dir = Path(cache_dir)
@@ -181,6 +191,14 @@ class EvalContext:
                 f"schedule must be 'static' or 'elastic', got {schedule!r}"
             )
         self.schedule = schedule
+        # guess-bank reuse: explicit argument, else $REPRO_GUESS_BANK, else
+        # off.  When set, run_attack banks each deterministic-replayable
+        # strategy's stream on first use and replays the mmapped artifact
+        # on every later run (table2/3/6 share the same specs), with
+        # reports bit-identical to the live serial sampling.
+        if bank_dir is None:
+            bank_dir = os.environ.get(BANK_DIR_ENV) or None
+        self.bank_dir = Path(bank_dir) if bank_dir is not None else None
         self._corpus: Optional[List[str]] = None
         self._dataset: Optional[PasswordDataset] = None
         self._passflow: Dict[str, PassFlow] = {}
@@ -372,6 +390,66 @@ class EvalContext:
             alphabet=self.alphabet,
         )
 
+    def _run_banked(
+        self,
+        spec: str,
+        label: str,
+        method: Optional[str],
+        source: StrategySource,
+        workers: int,
+        schedule: str,
+    ) -> Optional[GuessingReport]:
+        """Replay ``spec`` from ``bank_dir``, banking it first on a miss.
+
+        Returns ``None`` when the spec is not deterministic-replayable
+        (feedback-driven strategies must sample live) or when banking
+        fails, so ``run_attack`` falls back to the live path.  The bank's
+        identity key pins ``(canonical spec, seed, rng label, alphabet)``
+        to the *serial* live run -- ``spawn_rng(seed, "attack-{label}")``
+        -- so replays under any fleet shape reproduce that run's report
+        bit for bit.
+        """
+        strategy = source.build()
+        if not getattr(strategy, "replayable", False):
+            return None
+        canonical = parse_spec(spec).canonical()
+        rng_label = f"attack-{label}"
+        budgets = self.settings.guess_budgets
+        seed = self.settings.seed
+        bank = resolve_bank(
+            self.bank_dir, canonical, seed, rng_label, self.alphabet.chars
+        )
+        if bank is None or bank.total < budgets[-1]:
+            path = bank_path_for(
+                self.bank_dir, canonical, seed, rng_label, self.alphabet.chars
+            )
+            try:
+                bank = build_bank(
+                    strategy,
+                    budgets[-1],
+                    path,
+                    seed=seed,
+                    rng_label=rng_label,
+                    encoder=PasswordEncoder(self.alphabet),
+                )
+            except BankError as exc:
+                logger.warning(
+                    "cannot bank %s (%s); sampling live instead", canonical, exc
+                )
+                return None
+            logger.info("banked %s: %d guesses at %s", canonical, bank.total, bank.path)
+        else:
+            logger.info("replaying %s from %s", canonical, bank.path)
+        return replay_attack(
+            bank,
+            self.test_set,
+            budgets,
+            workers=workers,
+            schedule=schedule,
+            seed=seed,
+            method=method,
+        )
+
     def run_attack(
         self,
         spec: str,
@@ -395,10 +473,20 @@ class EvalContext:
         than string lists, so large parallel table runs stay queue-cheap;
         the elastic schedule additionally re-plans dry shards' budgets at
         checkpoints (see ``docs/parallel.md``).
+
+        With ``bank_dir`` set (or ``$REPRO_GUESS_BANK``),
+        deterministic-replayable specs are banked once and replayed from
+        the mmapped artifact on every later run -- reports bit-identical
+        to the serial live sampling regardless of fleet shape (see
+        ``docs/bank.md``).
         """
         workers = self.workers if workers is None else workers
         schedule = self.schedule if schedule is None else schedule
         source = self.strategy_source(spec, model=model)
+        if self.bank_dir is not None:
+            report = self._run_banked(spec, label, method, source, workers, schedule)
+            if report is not None:
+                return report
         if workers <= 1 and schedule == "static":
             return self.engine().run(
                 source.build(), self.attack_rng(label), method=method

@@ -128,7 +128,7 @@ class _ShardRun:
     time (the chunk-chain protocol guarantees order).
     """
 
-    def __init__(self, index, task) -> None:
+    def __init__(self, index, task, workers: int = 1) -> None:
         self.index = index
         self.task = task
         self.strategy = (
@@ -137,6 +137,12 @@ class _ShardRun:
             else task.source()
         )
         self.method = getattr(self.strategy, "name", None)
+        bind_shard = getattr(self.strategy, "bind_shard", None)
+        if bind_shard is not None:
+            # same fleet-coordinate hook as the static execute_shard:
+            # position-deterministic strategies (bank replay) select their
+            # strided substream before any chunk draws guesses
+            bind_shard(index, workers)
         self.live = True
         self.error: Optional[Exception] = None
         self.chunk_counter = 0
@@ -244,7 +250,10 @@ def run_elastic(
             f"{type(executor).__name__} cannot run elastic schedules; use "
             "LocalExecutor or WorkStealingExecutor"
         )
-    runs = [_ShardRun(index, task) for index in range(planner.workers)]
+    runs = [
+        _ShardRun(index, task, workers=planner.workers)
+        for index in range(planner.workers)
+    ]
     completed = 0
     for j, budget in enumerate(planner.budgets):
         live = [run for run in runs if run.live]

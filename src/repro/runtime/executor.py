@@ -199,6 +199,12 @@ def execute_shard(task: ShardTask, plan: ShardPlan) -> ShardOutcome:
         return outcome  # more workers than guesses at every budget
     strategy = task.source.build() if isinstance(task.source, StrategySource) else task.source()
     outcome.method = getattr(strategy, "name", None)
+    bind_shard = getattr(strategy, "bind_shard", None)
+    if bind_shard is not None:
+        # position-deterministic strategies (bank replay) pick their
+        # strided substream from the fleet coordinates; everyone else
+        # inherits the no-op default
+        bind_shard(plan.index, plan.workers)
     accounting = GuessAccounting(
         task.test_set, local_budgets, sample_cap=task.sample_cap, track_deltas=True
     )

@@ -108,10 +108,14 @@ class ShardPlan:
     shard actually runs its accounting over (two global budgets can map to
     the same local mark when budgets are small relative to the worker
     count, and a mark of zero means the shard contributes nothing yet).
+    ``workers`` records the fleet width the plan was cut for, so the
+    executor can tell position-deterministic strategies their substream
+    via :meth:`~repro.strategies.base.GuessingStrategy.bind_shard`.
     """
 
     index: int
     marks: List[int]
+    workers: int = 1
 
     @property
     def local_budgets(self) -> List[int]:
@@ -142,6 +146,7 @@ class ShardPlanner:
             ShardPlan(
                 index=i,
                 marks=[split_budget(b, self.workers, i) for b in self.budgets],
+                workers=self.workers,
             )
             for i in range(self.workers)
         ]
@@ -199,5 +204,5 @@ class ShardPlanner:
                 marks = [totals[ranks[p.index]] for totals in per_budget]
             else:
                 marks = [p.consumed] * len(remaining)
-            plans.append(ShardPlan(index=p.index, marks=marks))
+            plans.append(ShardPlan(index=p.index, marks=marks, workers=self.workers))
         return plans

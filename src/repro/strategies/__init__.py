@@ -34,6 +34,7 @@ from repro.strategies.registry import (
     format_spec,
     parse_spec,
     register,
+    strategy_catalog,
 )
 
 # importing the implementation modules populates the registry
@@ -43,11 +44,13 @@ from repro.strategies.passflow import (  # noqa: E402
     StaticStrategy,
 )
 from repro.strategies.baselines import SampledModelStrategy  # noqa: E402
+from repro.bank.replay import BankReplayStrategy  # noqa: E402
 
 __all__ = [
     "AttackContext",
     "AttackEngine",
     "AttackState",
+    "BankReplayStrategy",
     "BuildResources",
     "ConditionalStrategy",
     "DynamicStrategy",
@@ -62,5 +65,6 @@ __all__ = [
     "format_spec",
     "parse_spec",
     "register",
+    "strategy_catalog",
     "take",
 ]

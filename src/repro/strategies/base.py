@@ -145,6 +145,21 @@ class AttackContext:
                 self._seen.add(password)
         self._produced += count
 
+    def advance(self, count: int) -> None:
+        """Standalone-mode progress without strings (no-op in accounting mode).
+
+        The encoded companion of :meth:`note`: consumers that account
+        batches themselves (e.g. the guess-bank builder packing encoded
+        batches) advance the produced counter so ``remaining`` shrinks,
+        without materializing passwords.  ``seen`` is left untouched --
+        only strategies that never read it should be driven this way.
+        """
+        if self._accounting is not None:
+            return
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._produced += int(count)
+
 
 class GuessingStrategy(abc.ABC):
     """Protocol every guessing strategy implements.
@@ -156,6 +171,14 @@ class GuessingStrategy(abc.ABC):
 
     #: Human-readable method name used in reports ("PassFlow-Dynamic+GS").
     name: str = "strategy"
+
+    #: True when the guess stream is a pure function of ``(spec, seed,
+    #: budget)``: no attack feedback (``on_matches``), no reads of
+    #: ``context.seen``/``context.matched``.  Such streams can be
+    #: materialized once into a guess bank and replayed bit-identically;
+    #: feedback-driven strategies must keep ``False`` (the conservative
+    #: default for third-party subclasses).
+    replayable: bool = False
 
     def __init__(self, spec: Optional[str] = None) -> None:
         self._spec = spec
@@ -184,6 +207,19 @@ class GuessingStrategy(abc.ABC):
     def on_matches(self, batch: GuessBatch, indices: Sequence[int]) -> None:
         """Attack feedback: ``batch.passwords[i]`` was a fresh test-set hit
         for every ``i`` in ``indices``.  Default: ignore."""
+
+    def bind_shard(self, index: int, workers: int) -> None:
+        """Tell the strategy which shard of a ``workers``-wide fleet it is.
+
+        Called by the runtime (static and elastic schedules alike) right
+        after the per-shard strategy instance is built, before any guesses
+        are drawn.  Most strategies ignore it -- their per-shard RNG stream
+        already decorrelates the fleet.  Position-deterministic replay
+        strategies (the guess bank) use it to select the strided substream
+        ``index, index + workers, index + 2*workers, ...`` of their global
+        guess order, which is what makes sharded replay reports
+        bit-identical to the serial run.  Default: ignore.
+        """
 
     # ------------------------------------------------------------------
     @abc.abstractmethod

@@ -64,6 +64,10 @@ class SampledModelStrategy(GuessingStrategy):
     :class:`~repro.core.guesser.GuessingAttack` loop.
     """
 
+    #: The stream is feedback-free i.i.d. sampling: a pure function of
+    #: ``(model, rng)``, so it can be banked and replayed bit-identically.
+    replayable = True
+
     def __init__(
         self,
         model: Any,
@@ -103,7 +107,11 @@ def _need_corpus(spec: StrategySpec, resources: BuildResources):
 
 
 # ----------------------------------------------------------------------
-@register("markov", "order-k character n-gram baseline; variant = order (markov:3)")
+@register(
+    "markov",
+    "order-k character n-gram baseline; variant = order (markov:3)",
+    bankable="yes (feedback-free sampler)",
+)
 def _build_markov(spec: StrategySpec, resources: BuildResources) -> GuessingStrategy:
     reader = ParamReader(spec)
     if spec.variant:
@@ -137,7 +145,11 @@ def _build_markov(spec: StrategySpec, resources: BuildResources) -> GuessingStra
     )
 
 
-@register("pcfg", "Weir-style PCFG baseline (structure + terminal sampling)")
+@register(
+    "pcfg",
+    "Weir-style PCFG baseline (structure + terminal sampling)",
+    bankable="yes (feedback-free sampler)",
+)
 def _build_pcfg(spec: StrategySpec, resources: BuildResources) -> GuessingStrategy:
     if spec.variant:
         raise SpecError("pcfg takes no variant")
@@ -156,7 +168,11 @@ def _build_pcfg(spec: StrategySpec, resources: BuildResources) -> GuessingStrate
     )
 
 
-@register("rules", "wordlist + mangling-rule baseline (rules?wordlist=300)")
+@register(
+    "rules",
+    "wordlist + mangling-rule baseline (rules?wordlist=300)",
+    bankable="yes (feedback-free sampler)",
+)
 def _build_rules(spec: StrategySpec, resources: BuildResources) -> GuessingStrategy:
     if spec.variant:
         raise SpecError("rules takes no variant")
@@ -177,7 +193,11 @@ def _build_rules(spec: StrategySpec, resources: BuildResources) -> GuessingStrat
     )
 
 
-@register("passgan", "PassGAN-style WGAN baseline (trains on demand: passgan?iterations=300)")
+@register(
+    "passgan",
+    "PassGAN-style WGAN baseline (trains on demand: passgan?iterations=300)",
+    bankable="yes (feedback-free sampler)",
+)
 def _build_passgan(spec: StrategySpec, resources: BuildResources) -> GuessingStrategy:
     if spec.variant:
         raise SpecError("passgan takes no variant")
@@ -208,7 +228,11 @@ def _build_passgan(spec: StrategySpec, resources: BuildResources) -> GuessingStr
     )
 
 
-@register("cwae", "Context Wasserstein Autoencoder baseline (trains on demand: cwae?epochs=20)")
+@register(
+    "cwae",
+    "Context Wasserstein Autoencoder baseline (trains on demand: cwae?epochs=20)",
+    bankable="yes (feedback-free sampler)",
+)
 def _build_cwae(spec: StrategySpec, resources: BuildResources) -> GuessingStrategy:
     if spec.variant:
         raise SpecError("cwae takes no variant")

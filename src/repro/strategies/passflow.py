@@ -95,6 +95,10 @@ class StaticStrategy(GuessingStrategy):
         self.smoother = smoother
         self.batch_size = batch_size
         self.name = name
+        # Smoothing reads ``context.seen`` (collision breaking), which
+        # depends on the whole attack so far -- only the smoother-free
+        # stream is a pure function of (spec, seed, budget).
+        self.replayable = smoother is None
 
     def iter_guesses(self, rng: np.random.Generator) -> Iterator[GuessBatch]:
         while True:
@@ -244,6 +248,10 @@ class ConditionalStrategy(GuessingStrategy):
 
     name = "PassFlow-Conditional"
 
+    #: The evolutionary search never reads attack feedback or the seen
+    #: set: the stream is a pure function of (template, model, rng).
+    replayable = True
+
     def __init__(
         self,
         model: PassFlow,
@@ -344,7 +352,11 @@ def _phi_spec_params(phi: PhiFunction) -> Dict[str, object]:
     return {}  # custom phi objects have no spec form
 
 
-@register("passflow", "PassFlow latent-space strategies: static[+gs], dynamic[+gs], conditional")
+@register(
+    "passflow",
+    "PassFlow latent-space strategies: static[+gs], dynamic[+gs], conditional",
+    bankable="static/conditional only (dynamic and +gs read attack feedback)",
+)
 def _build_passflow(spec: StrategySpec, resources: BuildResources) -> GuessingStrategy:
     model = resources.model
     if not isinstance(model, PassFlow):

@@ -233,17 +233,27 @@ class ParamReader:
 # ----------------------------------------------------------------------
 StrategyFactory = Callable[[StrategySpec, BuildResources], GuessingStrategy]
 
-_REGISTRY: Dict[str, Tuple[StrategyFactory, str]] = {}
+_REGISTRY: Dict[str, Tuple[StrategyFactory, str, str]] = {}
 
 
-def register(family: str, summary: str = ""):
-    """Class/function decorator registering a strategy factory."""
+def register(family: str, summary: str = "", bankable: str = "no"):
+    """Class/function decorator registering a strategy factory.
+
+    ``bankable`` is a one-line note on whether the family's specs are
+    deterministic-replayable (``bank build``-able): samplers whose stream
+    is a pure function of ``(spec, seed, budget)``.  Shown by
+    ``repro strategies --bankable``.
+    """
 
     def decorator(factory: StrategyFactory) -> StrategyFactory:
         key = family.lower()
         if key in _REGISTRY:
             raise ValueError(f"strategy family {family!r} already registered")
-        _REGISTRY[key] = (factory, summary or (factory.__doc__ or "").strip())
+        _REGISTRY[key] = (
+            factory,
+            summary or (factory.__doc__ or "").strip(),
+            bankable,
+        )
         return factory
 
     return decorator
@@ -251,7 +261,15 @@ def register(family: str, summary: str = ""):
 
 def available_strategies() -> Dict[str, str]:
     """Mapping of registered family -> one-line summary."""
-    return {family: summary for family, (_, summary) in sorted(_REGISTRY.items())}
+    return {family: summary for family, (_, summary, _) in sorted(_REGISTRY.items())}
+
+
+def strategy_catalog() -> Dict[str, Tuple[str, str]]:
+    """Mapping of registered family -> ``(summary, bankable note)``."""
+    return {
+        family: (summary, bankable)
+        for family, (_, summary, bankable) in sorted(_REGISTRY.items())
+    }
 
 
 def build(
@@ -271,7 +289,7 @@ def build(
     if entry is None:
         known = ", ".join(sorted(_REGISTRY))
         raise SpecError(f"unknown strategy family {parsed.family!r} (known: {known})")
-    factory, _ = entry
+    factory = entry[0]
     resources = BuildResources(
         model=model, corpus=corpus, alphabet=alphabet, batch_size=batch_size
     )

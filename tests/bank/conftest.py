@@ -1,0 +1,107 @@
+"""Fixtures for the guess-bank suite: one banked Markov stream, shared.
+
+The session-scoped artifact is built once from the root conftest's
+synthetic corpus and compared against a live serial attack over the same
+``(spec, seed, budgets)`` -- the pairing every determinism test leans on.
+A throwaway ``bankfeedback`` family (registered here, like the fault
+families in ``tests/runtime/conftest.py``) gives the suite a
+non-replayable strategy that needs no model training.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+import pytest
+
+from repro.bank import build_bank
+from repro.data.dataset import PasswordDataset
+from repro.data.encoding import PasswordEncoder
+from repro.strategies import AttackEngine, build
+from repro.strategies.base import GuessBatch, GuessingStrategy
+from repro.strategies.registry import register
+
+BANK_SEED = 11
+BANK_BUDGETS = [200, 600, 1200]
+
+
+class FeedbackStrategy(GuessingStrategy):
+    """Infinite enumerator that *claims* to read feedback (replayable=False).
+
+    The stream itself is deterministic -- what matters to the tests is the
+    flag: ``build_bank`` must refuse it without ``force=True`` and the
+    eval harness must fall back to live sampling.
+    """
+
+    def __init__(self, prefix: str = "fb") -> None:
+        super().__init__(spec="bankfeedback")
+        self.name = "bank-feedback"
+        self.prefix = prefix
+        self._n = 0
+
+    def iter_guesses(self, rng: np.random.Generator) -> Iterator[GuessBatch]:
+        """Yield ``fb0000001, fb0000002, ...`` forever, 50 per batch."""
+        while True:
+            count = self.context.next_count(50)
+            if count < 1:
+                return
+            start = self._n
+            self._n += count
+            yield GuessBatch(
+                [f"{self.prefix}{start + i:07d}" for i in range(count)]
+            )
+
+
+@register("bankfeedback", "test-only: deterministic but flagged non-replayable")
+def _build_feedback(spec, resources):
+    return FeedbackStrategy()
+
+
+@pytest.fixture
+def feedback_strategy():
+    """A fresh non-replayable strategy instance (class defined above)."""
+    return FeedbackStrategy()
+
+
+@pytest.fixture(scope="session")
+def bank_seed():
+    return BANK_SEED
+
+
+@pytest.fixture(scope="session")
+def bank_budgets():
+    return list(BANK_BUDGETS)
+
+
+@pytest.fixture(scope="session")
+def bank_encoder(alphabet):
+    return PasswordEncoder(alphabet)
+
+
+@pytest.fixture(scope="session")
+def bank_split(corpus, bank_encoder):
+    """(train_half, test_set) -- the CLI attack's 50/50 split and cleaning."""
+    split = len(corpus) // 2
+    dataset = PasswordDataset(corpus[:split], corpus[split:], bank_encoder)
+    return corpus[:split], dataset.test_set
+
+
+@pytest.fixture(scope="session")
+def markov_bank(tmp_path_factory, corpus, alphabet, bank_split, bank_encoder):
+    """A markov:3 stream banked at ``BANK_BUDGETS[-1]`` guesses."""
+    train_half, _ = bank_split
+    strategy = build("markov:3", corpus=train_half, alphabet=alphabet)
+    out = tmp_path_factory.mktemp("banks") / "markov3.bank"
+    return build_bank(
+        strategy, BANK_BUDGETS[-1], out, seed=BANK_SEED, encoder=bank_encoder
+    )
+
+
+@pytest.fixture(scope="session")
+def live_report(corpus, alphabet, bank_split):
+    """The serial live-sampled report the bank must reproduce bit for bit."""
+    train_half, test_set = bank_split
+    strategy = build("markov:3", corpus=train_half, alphabet=alphabet)
+    engine = AttackEngine(test_set, BANK_BUDGETS)
+    return engine.run(strategy, np.random.default_rng(BANK_SEED))

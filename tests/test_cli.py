@@ -190,6 +190,112 @@ class TestLatentCommands:
         assert "percentile" in out and "band" in out
 
 
+@pytest.fixture(scope="module")
+def bank_dir(tmp_path_factory, corpus_file):
+    path = tmp_path_factory.mktemp("cli") / "markov3.bank"
+    code = main(
+        [
+            "bank", "build",
+            "--strategy", "markov:3",
+            "--corpus", str(corpus_file),
+            "--budget", "2000",
+            "--out", str(path),
+            "--seed", "9",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestBank:
+    def test_build_then_info(self, bank_dir, capsys):
+        assert main(["bank", "info", str(bank_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "markov:3" in out and "total:      2000" in out
+
+    def test_verify_clean(self, bank_dir, capsys):
+        assert main(["bank", "verify", str(bank_dir)]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_verify_corrupt_exits_nonzero(self, bank_dir, tmp_path, capsys):
+        import shutil
+
+        broken = tmp_path / "broken.bank"
+        shutil.copytree(bank_dir, broken)
+        keys_path = broken / "keys.npy"
+        data = bytearray(keys_path.read_bytes())
+        data[-1] ^= 0xFF
+        keys_path.write_bytes(bytes(data))
+        assert main(["bank", "verify", str(broken)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_build_refuses_feedback_strategy(self, model_file, corpus_file, tmp_path):
+        with pytest.raises(SystemExit, match="replayable"):
+            main(
+                [
+                    "bank", "build",
+                    "--strategy", "passflow:dynamic",
+                    "--model", str(model_file),
+                    "--corpus", str(corpus_file),
+                    "--budget", "100",
+                    "--out", str(tmp_path / "dyn.bank"),
+                ]
+            )
+
+    def test_attack_bank_matches_live(self, bank_dir, corpus_file, tmp_path, capsys):
+        import json
+
+        live_path = tmp_path / "live.json"
+        main(
+            [
+                "attack",
+                "--corpus", str(corpus_file),
+                "--strategy", "markov:3",
+                "--budgets", "200,800",
+                "--seed", "9",
+                "--report", str(live_path),
+            ]
+        )
+        replay_path = tmp_path / "replay.json"
+        code = main(
+            [
+                "attack",
+                "--bank", str(bank_dir),
+                "--corpus", str(corpus_file),
+                "--budgets", "200,800",
+                "--seed", "9",
+                "--workers", "2",
+                "--report", str(replay_path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        live = json.loads(live_path.read_text())
+        replay = json.loads(replay_path.read_text())
+        for key in ("rows", "matched_samples", "non_matched_samples", "method"):
+            assert replay[key] == live[key]
+
+    def test_attack_bank_budget_overflow_exits(self, bank_dir, corpus_file):
+        with pytest.raises(SystemExit, match="cannot be replayed"):
+            main(
+                [
+                    "attack",
+                    "--bank", str(bank_dir),
+                    "--corpus", str(corpus_file),
+                    "--budgets", "100,999999",
+                ]
+            )
+
+
+class TestStrategies:
+    def test_bankable_column(self, capsys):
+        assert main(["strategies", "--bankable"]) == 0
+        out = capsys.readouterr().out
+        assert "bankable" in out
+        assert "feedback-free sampler" in out
+        assert "static/conditional only" in out
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
