@@ -11,6 +11,9 @@ benchmarks default to ``quick``.
 
 from __future__ import annotations
 
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -35,6 +38,52 @@ def rng() -> np.random.Generator:
 def run_once(benchmark, fn):
     """Run a whole-experiment benchmark exactly once (they're minutes-long)."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def best_seconds(fn, repeats: int = 3) -> float:
+    """Best-of-N wall time for a speedup-floor assertion (noise-robust)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def speedup_floor(full: float, relaxed: float) -> float:
+    """The asserted speedup bar: the full bar off-CI, relaxed under CI=true.
+
+    Shared CI runners are noisy and throttled, so the kernel speedup
+    floors keep a regression-catching but forgiving bar there; local runs
+    enforce the real perf contract.
+    """
+    return relaxed if os.environ.get("CI") else full
+
+
+def assert_speedup(baseline_fn, fused_fn, floor: float, label: str, attempts: int = 4):
+    """Assert best-of-N ``baseline/fused`` wall time beats ``floor``.
+
+    Both sides run untimed first so they see the same warm allocator
+    arenas (a cold baseline inflates the ratio; a cold fused path sinks
+    it).  A losing measurement then re-runs both sides, interleaved,
+    before failing: a concurrently running suite or a throttling shared
+    machine can sink any single sample, and the floor is about the code,
+    not the load.
+    """
+    for fn in (baseline_fn, fused_fn):
+        fn()
+        fn()
+    ratio = 0.0
+    for _ in range(attempts):
+        baseline = best_seconds(baseline_fn)
+        fused = best_seconds(fused_fn)
+        ratio = max(ratio, baseline / fused)
+        if ratio >= floor:
+            return
+    raise AssertionError(
+        f"{label}: best speedup {ratio:.2f}x < {floor}x floor "
+        f"after {attempts} measurement attempts"
+    )
 
 
 def shape_assertions_enabled(ctx) -> bool:

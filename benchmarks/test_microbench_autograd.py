@@ -3,13 +3,20 @@
 The engine is the substrate every training second is spent in; these
 benchmarks track the cost of a representative forward+backward and of the
 inference-mode (no-grad) fast path the samplers rely on.
+
+``test_fused_coupling_forward_backward_floor`` pins the fused coupling
+op's speedup over the seed-era composed-Tensor graph as a hard assert
+(full bar off-CI, relaxed under ``CI=true``; see ``docs/kernels.md``).
 """
 
 import numpy as np
 import pytest
 
-from repro.autograd import Tensor, no_grad
+from repro import kernels
+from repro.autograd import Tensor, fused_affine_coupling, no_grad
 from repro.nn import Linear, ResidualMLP
+
+from benchmarks.conftest import assert_speedup, speedup_floor
 
 
 @pytest.fixture(scope="module")
@@ -63,3 +70,48 @@ def test_logsumexp_large(benchmark):
     x = np.random.default_rng(2).normal(size=(1024, 128))
     result = benchmark(lambda: logsumexp(Tensor(x), axis=1))
     assert result.shape == (1024,)
+
+
+def test_fused_coupling_forward_backward_floor():
+    """The fused coupling op beats the composed graph it replaced.
+
+    The composed baseline is the seed-era AffineCoupling combine written
+    out as individual Tensor ops (~12 tape nodes); the fused op collapses
+    it into one node with closed-form backwards.
+    """
+    rng = np.random.default_rng(0)
+    d = 16
+    mask = (np.arange(d) % 2).astype(np.float64)
+    inv_mask = 1.0 - mask
+    xd = rng.normal(size=(512, d))
+    rawd = rng.normal(size=(512, d)) * 3.0
+    td = rng.normal(size=(512, d))
+
+    def composed_step():
+        x = Tensor(xd, True)
+        raw, t = Tensor(rawd, True), Tensor(td, True)
+        masked = x * Tensor(mask)
+        scale = (raw * (1.0 / 2.0)).tanh() * 2.0
+        z = masked + Tensor(inv_mask) * (x * scale.exp() + t)
+        log_det = (Tensor(inv_mask) * scale).sum(axis=-1)
+        ((z * z).sum() + log_det.sum()).backward()
+        return x.grad
+
+    def fused_step():
+        with kernels.use_backend("numpy"):
+            x = Tensor(xd, True)
+            raw, t = Tensor(rawd, True), Tensor(td, True)
+            z, log_det = fused_affine_coupling(x, raw, t, mask, inv_mask, 2.0)
+            ((z * z).sum() + log_det.sum()).backward()
+            return x.grad
+
+    assert np.allclose(fused_step(), composed_step(), rtol=1e-9, atol=1e-9)
+    for fn in (composed_step, fused_step):  # warm allocator arenas for both
+        for _ in range(10):
+            fn()
+    assert_speedup(
+        composed_step,
+        fused_step,
+        speedup_floor(full=1.25, relaxed=1.1),
+        "fused coupling fwd+bwd",
+    )

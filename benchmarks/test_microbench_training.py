@@ -1,8 +1,17 @@
-"""Micro-benchmarks: single training steps of every trainable model."""
+"""Micro-benchmarks: single training steps of every trainable model.
+
+``test_adam_step_allocation_drop`` pins the fused in-place Adam's
+allocation behaviour: once scratch is warm, a numpy-backend step must
+allocate a small fraction of what the seed-era out-of-place update did
+(tracemalloc peak; see ``docs/kernels.md``).
+"""
+
+import tracemalloc
 
 import numpy as np
 import pytest
 
+from repro import kernels
 from repro.autograd import Tensor
 from repro.baselines.cwae import CWAE, CWAEConfig
 from repro.baselines.gan import PassGAN, PassGANConfig
@@ -31,6 +40,39 @@ def test_flow_training_step(benchmark, flow_setup):
 
     loss = benchmark(step)
     assert np.isfinite(loss)
+
+
+def test_adam_step_allocation_drop():
+    """Warm fused Adam steps allocate ~nothing; the seed update allocated
+    a fresh temporary per arithmetic op per parameter."""
+
+    def make_optimizer(seed=0):
+        rng = np.random.default_rng(seed)
+        params = [Tensor(rng.normal(size=(64, 64)), True) for _ in range(8)]
+        grads = [rng.normal(size=(64, 64)) for _ in range(8)]
+        return Adam(params, lr=1e-3), params, grads
+
+    def peak_step_bytes(backend):
+        with kernels.use_backend(backend):
+            optimizer, params, grads = make_optimizer()
+            for _ in range(3):  # warm moment and scratch buffers
+                for p, g in zip(params, grads):
+                    p.grad = g.copy()
+                optimizer.step()
+            for p, g in zip(params, grads):
+                p.grad = g.copy()
+            tracemalloc.start()
+            optimizer.step()
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+        return peak
+
+    peak_reference = peak_step_bytes("reference")
+    peak_numpy = peak_step_bytes("numpy")
+    assert peak_numpy < 0.2 * peak_reference, (
+        f"fused Adam step peak {peak_numpy}B not < 20% of "
+        f"reference {peak_reference}B"
+    )
 
 
 def test_gan_training_iteration(benchmark, ctx):

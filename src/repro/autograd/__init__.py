@@ -32,6 +32,9 @@ from repro.autograd.tensor import (
 from repro.autograd.ops import (
     concatenate,
     exp,
+    fused_actnorm,
+    fused_affine_coupling,
+    fused_logit,
     log,
     logsumexp,
     maximum,
@@ -65,6 +68,9 @@ __all__ = [
     "maximum",
     "mean",
     "tensor_sum",
+    "fused_affine_coupling",
+    "fused_logit",
+    "fused_actnorm",
     "numeric_gradient",
     "check_gradients",
 ]

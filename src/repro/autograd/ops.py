@@ -4,15 +4,29 @@ These complement the method-style ops on ``Tensor`` with multi-input ops
 (``concatenate``, ``stack``, ``where``, ``maximum``) and numerically careful
 reductions (``logsumexp``, used by the penalized Gaussian-mixture prior of
 Eq. 14 when evaluating latent densities).
+
+The ``fused_*`` family collapses a whole bijector transform -- previously a
+dozen tape nodes each re-walking the batch -- into one or two nodes with
+closed-form backwards, dispatched through the active kernel backend
+(:mod:`repro.kernels`).  Forward values are bit-identical to the composed
+graphs they replace (the kernel contract); gradients are the same closed
+forms the chain rule would compose, accumulated in one pass.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.autograd.tensor import Arrayish, Tensor, as_tensor, unbroadcast
+from repro import kernels
+from repro.autograd.tensor import (
+    Arrayish,
+    Tensor,
+    as_tensor,
+    is_grad_enabled,
+    unbroadcast,
+)
 
 
 def exp(x: Arrayish) -> Tensor:
@@ -140,3 +154,118 @@ def logsumexp(x: Arrayish, axis=None, keepdims: bool = False) -> Tensor:
         x._accumulate(np.broadcast_to(g, x.shape) * softmax)
 
     return Tensor._make(out_data, (x,), backward)
+
+
+# ----------------------------------------------------------------------
+# fused bijector transforms (kernel-dispatched, closed-form backwards)
+# ----------------------------------------------------------------------
+def fused_affine_coupling(
+    x: Arrayish,
+    raw_scale: Arrayish,
+    translate: Arrayish,
+    mask: np.ndarray,
+    inv_mask: np.ndarray,
+    clamp: float,
+    masked_data: Optional[np.ndarray] = None,
+) -> Tuple[Tensor, Tensor]:
+    """The affine coupling combine ``z = b*x + (1-b)(x e^s + t)`` as one op.
+
+    ``raw_scale`` is the conditioner output *before* the
+    ``clamp * tanh(. / clamp)`` squash -- the squash happens inside the
+    kernel.  Returns ``(z, log_det)``; gradients flow to ``x``,
+    ``raw_scale`` and ``translate`` (the masks are constants).
+    ``masked_data`` lets callers pass the already-computed ``x * b``.
+    """
+    x, raw_scale, translate = as_tensor(x), as_tensor(raw_scale), as_tensor(translate)
+    backend = kernels.active()
+    if masked_data is None:
+        masked_data = x.data * mask
+    needs_grad = is_grad_enabled() and (
+        x.requires_grad or raw_scale.requires_grad or translate.requires_grad
+    )
+    if not needs_grad:
+        z, log_det = backend.coupling_forward(
+            x.data, masked_data, inv_mask, raw_scale.data, translate.data, clamp
+        )
+        return Tensor(z), Tensor(log_det)
+    z_data, ld_data, exp_s, dtanh = backend.coupling_train_forward(
+        x.data, masked_data, inv_mask, raw_scale.data, translate.data, clamp
+    )
+
+    def backward_z(grad: np.ndarray) -> None:
+        gx, graw, gt = backend.coupling_backward_z(grad, x.data, mask, inv_mask, exp_s, dtanh)
+        if x.requires_grad:
+            x._accumulate(gx)
+        if raw_scale.requires_grad:
+            raw_scale._accumulate(graw)
+        if translate.requires_grad:
+            translate._accumulate(gt)
+
+    def backward_log_det(grad: np.ndarray) -> None:
+        if raw_scale.requires_grad:
+            raw_scale._accumulate(backend.coupling_backward_log_det(grad, inv_mask, dtanh))
+
+    z = Tensor._make(z_data, (x, raw_scale, translate), backward_z)
+    log_det = Tensor._make(ld_data, (raw_scale,), backward_log_det)
+    return z, log_det
+
+
+def fused_logit(x: Arrayish, alpha: float) -> Tuple[Tensor, Tensor]:
+    """The logit preprocessing bijector ``y = logit(a + (1-2a) x)`` as one op.
+
+    Returns ``(y, log_det)`` with gradients flowing to ``x`` from both
+    outputs.
+    """
+    x = as_tensor(x)
+    backend = kernels.active()
+    if not (is_grad_enabled() and x.requires_grad):
+        y, log_det = backend.logit_forward(x.data, alpha)
+        return Tensor(y), Tensor(log_det)
+    y_data, ld_data, p = backend.logit_train_forward(x.data, alpha)
+
+    def backward_y(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(backend.logit_backward_y(grad, p, alpha))
+
+    def backward_log_det(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(backend.logit_backward_log_det(grad, p, alpha))
+
+    y = Tensor._make(y_data, (x,), backward_y)
+    log_det = Tensor._make(ld_data, (x,), backward_log_det)
+    return y, log_det
+
+
+def fused_actnorm(x: Arrayish, bias: Tensor, log_scale: Tensor) -> Tuple[Tensor, Tensor]:
+    """The actnorm affine ``z = (x - bias) e^{log_scale}`` as one op.
+
+    ``bias`` and ``log_scale`` are the layer's parameter tensors; gradients
+    accumulate into them directly (the per-batch reductions happen inside
+    the kernel instead of through broadcast-sum tape nodes).
+    """
+    x = as_tensor(x)
+    backend = kernels.active()
+    needs_grad = is_grad_enabled() and (
+        x.requires_grad or bias.requires_grad or log_scale.requires_grad
+    )
+    if not needs_grad:
+        z, log_det = backend.actnorm_forward(x.data, bias.data, log_scale.data)
+        return Tensor(z), Tensor(log_det)
+    z_data, ld_data, exp_ls = backend.actnorm_train_forward(x.data, bias.data, log_scale.data)
+
+    def backward_z(grad: np.ndarray) -> None:
+        gx, gbias, gls = backend.actnorm_backward_z(grad, z_data, exp_ls)
+        if x.requires_grad:
+            x._accumulate(gx)
+        if bias.requires_grad:
+            bias._accumulate(gbias)
+        if log_scale.requires_grad:
+            log_scale._accumulate(gls)
+
+    def backward_log_det(grad: np.ndarray) -> None:
+        if log_scale.requires_grad:
+            log_scale._accumulate(np.full(log_scale.data.shape, grad.sum()))
+
+    z = Tensor._make(z_data, (x, bias, log_scale), backward_z)
+    log_det = Tensor._make(ld_data, (log_scale,), backward_log_det)
+    return z, log_det

@@ -42,18 +42,26 @@ memory-mapped artifact of packed uint64 keys, ``bank info``/``bank
 verify`` inspect and check one, and ``attack --bank path.bank`` replays
 it -- bit-identical to the live-sampled run for fixed ``(seed,
 budgets)`` across worker counts and schedules; see ``docs/bank.md``.
+
+``train``/``sample``/``attack``/``bank build`` accept ``--kernels
+auto|numpy|numba|reference`` (default: the ``REPRO_KERNELS`` environment
+variable, else ``auto``) to pick the fused kernel backend the flow/NN hot
+paths run on; guess streams are backend-independent for a fixed seed and
+the attack report records the backend used.  See ``docs/kernels.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
 
+from repro import kernels
 from repro.bank import BankError, GuessBank, build_bank, replay_attack
 from repro.core.conditional import ConditionalGuesser
 from repro.core.guesser import validate_budgets
@@ -105,6 +113,25 @@ def _parse_budgets(raw: str) -> List[int]:
     return budgets
 
 
+def _select_kernels(args) -> None:
+    """Pin the kernel backend before any model math runs.
+
+    ``--kernels`` wins over ``REPRO_KERNELS`` and is exported back into the
+    environment so spawned shard workers resolve the same backend.  Invalid
+    values (and ``numba`` without numba installed) exit with the registry's
+    one-line error.
+    """
+    choice = getattr(args, "kernels", None)
+    try:
+        if choice is not None:
+            kernels.select(choice)
+            os.environ["REPRO_KERNELS"] = choice
+        else:
+            kernels.select(None)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
 def _emit_attack_report(report, args, budgets: List[int], described: str) -> None:
     """Shared ``attack`` tail: stdout table, shard warnings, JSON report."""
     rows = [
@@ -147,6 +174,7 @@ def cmd_synthesize(args) -> int:
 
 
 def cmd_train(args) -> int:
+    _select_kernels(args)
     alphabet = _alphabet(args.alphabet)
     corpus = _read_corpus(args.corpus, alphabet)
     if args.train_size and args.train_size < len(corpus):
@@ -215,6 +243,7 @@ def _spec_from_args(args) -> str:
 
 
 def cmd_sample(args) -> int:
+    _select_kernels(args)
     model = PassFlow.load(args.model)
     spec = _spec_from_args(args)
     try:
@@ -271,6 +300,7 @@ def _attack_from_bank(args) -> int:
 
 
 def cmd_attack(args) -> int:
+    _select_kernels(args)
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
     if args.bank:
@@ -337,6 +367,7 @@ def cmd_bank_build(args) -> int:
     the banked stream is the one a live attack with the same flags would
     sample.
     """
+    _select_kernels(args)
     try:
         parsed = parse_spec(args.strategy)
     except SpecError as exc:
@@ -471,6 +502,18 @@ def cmd_experiments(args) -> int:
 
 
 # ----------------------------------------------------------------------
+def _add_kernels_flag(parser: argparse.ArgumentParser) -> None:
+    # a plain string (not argparse choices) so bad values surface the
+    # kernel registry's one-line error instead of argparse's usage dump
+    parser.add_argument(
+        "--kernels",
+        default=None,
+        help="kernel backend: auto|numpy|numba|reference (default: "
+        "REPRO_KERNELS, else auto = numba when installed); every backend "
+        "yields the same guesses for a fixed seed",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument("-v", "--verbose", action="store_true", help="console logging")
@@ -504,6 +547,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--mask", default="char-run-1")
     p.add_argument("--seed", type=int, default=0)
+    _add_kernels_flag(p)
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("sample", help="generate password guesses")
@@ -519,6 +563,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sigma", type=float, default=0.12)
     p.add_argument("--gamma", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
+    _add_kernels_flag(p)
     p.set_defaults(func=cmd_sample)
 
     p = sub.add_parser("attack", help="run a guessing attack against a password file")
@@ -563,6 +608,7 @@ def build_parser() -> argparse.ArgumentParser:
         "strategy (bit-identical to the banked run for fixed seed/budgets; "
         "--model/--strategy are ignored)",
     )
+    _add_kernels_flag(p)
     p.set_defaults(func=cmd_attack)
 
     p = sub.add_parser(
@@ -601,6 +647,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="bank a non-replayable (feedback-driven) strategy's "
         "feedback-free stream anyway",
     )
+    _add_kernels_flag(b)
     b.set_defaults(func=cmd_bank_build)
 
     b = bank_sub.add_parser("info", help="print a bank artifact's manifest summary")

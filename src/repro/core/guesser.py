@@ -50,6 +50,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
 import numpy as np
 
+from repro import kernels
+
 
 @dataclass
 class BudgetRow:
@@ -87,6 +89,7 @@ class GuessingReport:
     non_matched_samples: List[str] = field(default_factory=list)
     matched_samples: List[str] = field(default_factory=list)
     shard_errors: List[str] = field(default_factory=list)
+    kernel_backend: str = field(default_factory=kernels.active_name)
 
     def row_at(self, guesses: int) -> BudgetRow:
         """The checkpoint row at exactly ``guesses``; KeyError if absent."""
@@ -104,12 +107,15 @@ class GuessingReport:
     def as_dict(self) -> Dict[str, object]:
         """Machine-readable form (``repro attack --report out.json``).
 
-        ``shard_errors`` appears only when a shard crashed, so clean
-        runs' payloads are byte-identical to the pre-elastic format.
+        ``kernel_backend`` records which kernel backend (see
+        :mod:`repro.kernels`) produced the run, so reports from mixed
+        environments stay attributable.  ``shard_errors`` appears only
+        when a shard crashed.
         """
         payload: Dict[str, object] = {
             "method": self.method,
             "test_size": self.test_size,
+            "kernel_backend": self.kernel_backend,
             "rows": [row.as_dict() for row in self.rows],
             "matched_samples": list(self.matched_samples),
             "non_matched_samples": list(self.non_matched_samples),

@@ -12,7 +12,8 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.autograd import Tensor
+from repro import kernels
+from repro.autograd import Tensor, fused_actnorm
 from repro.flows.bijector import Bijector
 from repro.nn.module import Parameter
 
@@ -41,10 +42,19 @@ class ActNorm(Bijector):
     def forward(self, x: Tensor) -> Tuple[Tensor, Tensor]:
         if not self._initialized and self.training:
             self.initialize_from(x.data)
+        if x.ndim > 1:
+            return fused_actnorm(x, self.bias, self.log_scale)
         z = (x - self.bias) * self.log_scale.exp()
-        batch = x.shape[0] if x.ndim > 1 else 1
-        log_det = self.log_scale.sum() * Tensor(np.ones(batch))
+        log_det = self.log_scale.sum() * Tensor(np.ones(1))
         return z, log_det
 
     def inverse(self, z: Tensor) -> Tensor:
         return z * (-self.log_scale).exp() + self.bias
+
+    def forward_array(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        if not self._initialized and self.training:
+            self.initialize_from(x)
+        return kernels.active().actnorm_forward(x, self.bias.data, self.log_scale.data)
+
+    def inverse_array(self, z: np.ndarray) -> np.ndarray:
+        return kernels.active().actnorm_inverse(z, self.bias.data, self.log_scale.data)

@@ -17,6 +17,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro import kernels
 from repro.autograd import Tensor
 from repro.flows.bijector import Bijector
 from repro.nn.residual import ResidualMLP
@@ -61,3 +62,13 @@ class AdditiveCoupling(Bijector):
         masked = z * mask
         translate = self.translate_net(masked)
         return masked + inv_mask * (z - translate)
+
+    def forward_array(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        masked = x * self.mask
+        translate = self.translate_net.forward_array(masked)
+        return kernels.active().additive_forward(x, masked, 1.0 - self.mask, translate)
+
+    def inverse_array(self, z: np.ndarray) -> np.ndarray:
+        masked = z * self.mask
+        translate = self.translate_net.forward_array(masked)
+        return kernels.active().additive_inverse(z, masked, 1.0 - self.mask, translate)

@@ -7,13 +7,22 @@ Eq. 6), and an exact inverse (Eq. 2).
 
 Both directions operate on :class:`~repro.autograd.Tensor`; inference paths
 call them inside ``no_grad()`` which reduces them to plain numpy work.
+
+The ``*_array`` variants are the kernel-dispatched numpy fast paths
+(:mod:`repro.kernels`) that :class:`~repro.flows.flow.Flow` uses for
+``encode``/``decode``/``log_prob``: no Tensor wrapping, fused per-bijector
+kernels where a subclass provides them.  The base-class implementations
+fall back to the Tensor path under ``no_grad`` -- always correct, and the
+baseline the fused overrides are parity-tested and benchmarked against.
 """
 
 from __future__ import annotations
 
 from typing import Tuple
 
-from repro.autograd import Tensor
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
 from repro.nn.module import Module
 
 
@@ -27,3 +36,14 @@ class Bijector(Module):
     def inverse(self, z: Tensor) -> Tensor:
         """Map latent back to data (preimage under the bijection)."""
         raise NotImplementedError
+
+    def forward_array(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Numpy fast path of :meth:`forward`; never mutates ``x``."""
+        with no_grad():
+            z, log_det = self.forward(Tensor(x))
+        return z.data, log_det.data
+
+    def inverse_array(self, z: np.ndarray) -> np.ndarray:
+        """Numpy fast path of :meth:`inverse`; never mutates ``z``."""
+        with no_grad():
+            return self.inverse(Tensor(z)).data

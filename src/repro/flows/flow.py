@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.autograd import Tensor, no_grad
+from repro.autograd import Tensor
 from repro.flows.bijector import Bijector
 from repro.flows.priors import Prior, StandardNormalPrior
 from repro.nn.module import Module
@@ -71,27 +71,31 @@ class Flow(Module):
         return -self.log_prob_tensor(x).mean()
 
     # ------------------------------------------------------------------
-    # numpy fast paths (inference / guessing)
+    # numpy fast paths (inference / guessing) -- kernel-dispatched, see
+    # repro.kernels; no Tensor graph is ever built on these routes.
     # ------------------------------------------------------------------
     def encode(self, x: np.ndarray) -> np.ndarray:
         """Data -> latent without building a graph."""
-        with no_grad():
-            z, _ = self.forward(Tensor(np.atleast_2d(x)))
-        return z.data
+        z = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        for bijector in self.bijectors:
+            z, _ = bijector.forward_array(z)
+        return z
 
     def decode(self, z: np.ndarray) -> np.ndarray:
         """Latent -> data (the preimage f^{-1}(z), Eq. 2)."""
-        with no_grad():
-            x = Tensor(np.atleast_2d(z))
-            for bijector in reversed(self.bijectors):
-                x = bijector.inverse(x)
-        return x.data
+        x = np.atleast_2d(np.asarray(z, dtype=np.float64))
+        for bijector in reversed(self.bijectors):
+            x = bijector.inverse_array(x)
+        return x
 
     def log_prob(self, x: np.ndarray) -> np.ndarray:
         """log p_theta(x) without building a graph."""
-        with no_grad():
-            z, log_det = self.forward(Tensor(np.atleast_2d(x)))
-        return self.prior.log_prob(z.data) + log_det.data
+        z = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        total: Optional[np.ndarray] = None
+        for bijector in self.bijectors:
+            z, log_det = bijector.forward_array(z)
+            total = log_det if total is None else np.add(total, log_det, out=total)
+        return self.prior.log_prob(z) + total
 
     def sample(
         self,

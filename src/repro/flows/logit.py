@@ -19,7 +19,8 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.autograd import Tensor
+from repro import kernels
+from repro.autograd import Tensor, fused_logit
 from repro.flows.bijector import Bijector
 
 
@@ -33,15 +34,15 @@ class LogitTransform(Bijector):
         self.alpha = float(alpha)
 
     def forward(self, x: Tensor) -> Tuple[Tensor, Tensor]:
-        a = self.alpha
-        p = x * (1.0 - 2.0 * a) + a
-        y = p.log() - (1.0 - p).log()
-        log_det = (
-            np.log(1.0 - 2.0 * a) - p.log() - (1.0 - p).log()
-        ).sum(axis=-1)
-        return y, log_det
+        return fused_logit(x, self.alpha)
 
     def inverse(self, z: Tensor) -> Tensor:
         a = self.alpha
         p = z.sigmoid()
         return (p - a) * (1.0 / (1.0 - 2.0 * a))
+
+    def forward_array(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        return kernels.active().logit_forward(x, self.alpha)
+
+    def inverse_array(self, z: np.ndarray) -> np.ndarray:
+        return kernels.active().logit_inverse(z, self.alpha)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.autograd import Tensor
 from repro.nn.linear import Linear
 from repro.nn.module import Module
@@ -60,3 +61,25 @@ class ResidualMLP(Module):
         for i in range(self.num_blocks):
             hidden = self._modules[f"block{i}"](hidden)
         return self.output(hidden)
+
+    def forward_array(self, x: np.ndarray) -> np.ndarray:
+        """Kernel-dispatched forward on a raw batch (no Tensor graph).
+
+        The returned array may be backend scratch memory: it is only valid
+        until this module's next ``forward_array`` call, so callers that
+        need to keep it must copy.
+        """
+        params = [self.input.weight.data, self.input.bias.data]
+        for i in range(self.num_blocks):
+            block = self._modules[f"block{i}"]
+            params.extend(
+                (
+                    block.fc1.weight.data,
+                    block.fc1.bias.data,
+                    block.fc2.weight.data,
+                    block.fc2.bias.data,
+                )
+            )
+        params.extend((self.output.weight.data, self.output.bias.data))
+        scratch = self.__dict__.setdefault("_kernel_scratch", {})
+        return kernels.active().mlp_forward(params, x, self.num_blocks, scratch)

@@ -408,7 +408,12 @@ class ParallelAttackEngine:
         test_size: int,
         shard_errors: Optional[List[str]] = None,
     ) -> GuessingReport:
-        """Assemble the merged report (rows plus shard-order samples)."""
+        """Assemble the merged report (rows plus shard-order samples).
+
+        ``kernel_backend`` is stamped by the dataclass default from the
+        parent's active backend; shard workers resolve the same choice
+        because the CLI exports ``REPRO_KERNELS`` before spawning them.
+        """
         return GuessingReport(
             method=method,
             test_size=test_size,

@@ -14,6 +14,11 @@ The streaming loops here are RNG-faithful ports of the eager
 ``StaticSampler.attack`` / ``DynamicSampler.attack`` bodies: driven by an
 :class:`~repro.strategies.engine.AttackEngine` over the same budgets they
 reproduce the legacy reports exactly.
+
+The latent decodes these loops spend their time in dispatch through the
+active kernel backend (:mod:`repro.kernels`, ``--kernels`` /
+``REPRO_KERNELS``); every backend yields the same guess stream for a
+fixed ``(seed, spec)``.
 """
 
 from __future__ import annotations

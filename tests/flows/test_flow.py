@@ -41,8 +41,8 @@ class TestComposition:
 
     def test_check_invertibility_raises_on_broken_flow(self):
         flow = build_flow()
-        original_inverse = flow.bijectors[0].inverse
-        flow.bijectors[0].inverse = lambda z: original_inverse(z) + Tensor(1.0)
+        original_inverse = flow.bijectors[0].inverse_array
+        flow.bijectors[0].inverse_array = lambda z: original_inverse(z) + 1.0
         with pytest.raises(AssertionError):
             flow.check_invertibility(np.random.randn(2, 4))
 

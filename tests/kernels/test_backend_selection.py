@@ -1,0 +1,179 @@
+"""Kernel backend registry: resolution, selection, and error surfaces."""
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.cli import main
+from repro.core.guesser import GuessingReport
+
+
+class TestResolve:
+    def test_explicit_names_resolve_to_themselves(self):
+        assert kernels.resolve("numpy") == "numpy"
+        assert kernels.resolve("reference") == "reference"
+
+    def test_auto_prefers_numba_when_available(self, monkeypatch):
+        monkeypatch.setattr(kernels, "numba_available", lambda: True)
+        assert kernels.resolve("auto") == "numba"
+        monkeypatch.setattr(kernels, "numba_available", lambda: False)
+        assert kernels.resolve("auto") == "numpy"
+
+    def test_none_reads_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "reference")
+        assert kernels.resolve() == "reference"
+        monkeypatch.delenv("REPRO_KERNELS")
+        assert kernels.resolve() in ("numpy", "numba")
+
+    def test_invalid_value_one_line_error(self):
+        with pytest.raises(ValueError) as excinfo:
+            kernels.resolve("fortran")
+        message = str(excinfo.value)
+        assert "\n" not in message
+        assert "REPRO_KERNELS must be one of auto|numpy|numba|reference" in message
+        assert "'fortran'" in message
+
+    def test_invalid_env_value_same_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "cuda")
+        with pytest.raises(ValueError, match="must be one of"):
+            kernels.resolve()
+
+    def test_numba_missing_one_line_error(self, monkeypatch):
+        monkeypatch.setattr(kernels, "numba_available", lambda: False)
+        with pytest.raises(ValueError) as excinfo:
+            kernels.resolve("numba")
+        message = str(excinfo.value)
+        assert "\n" not in message
+        assert "numba is not installed" in message
+
+
+class TestSelectAndActive:
+    def test_select_returns_backend_name(self):
+        previous = kernels.active_name()
+        try:
+            assert kernels.select("reference") == "reference"
+            assert kernels.active_name() == "reference"
+            assert kernels.active().NAME == "reference"
+        finally:
+            kernels.select(previous)
+
+    def test_use_backend_restores_previous(self):
+        before = kernels.active()
+        with kernels.use_backend("reference"):
+            assert kernels.active_name() == "reference"
+        assert kernels.active() is before
+
+    def test_use_backend_restores_on_error(self):
+        before = kernels.active()
+        with pytest.raises(RuntimeError):
+            with kernels.use_backend("reference"):
+                raise RuntimeError("boom")
+        assert kernels.active() is before
+
+    def test_backends_expose_the_same_kernel_api(self):
+        reference = kernels._load("reference")
+        numpy_backend = kernels._load("numpy")
+        exported = [
+            name
+            for name in dir(reference)
+            if not name.startswith("_") and callable(getattr(reference, name))
+        ]
+        for name in exported:
+            assert callable(getattr(numpy_backend, name)), name
+
+
+class TestReportSurface:
+    def test_report_records_active_backend(self):
+        with kernels.use_backend("reference"):
+            report = GuessingReport(method="m", test_size=1)
+        assert report.kernel_backend == "reference"
+        assert report.as_dict()["kernel_backend"] == "reference"
+
+    def test_report_json_includes_backend(self, tmp_path, monkeypatch):
+        # setenv first so monkeypatch restores the CLI's env export
+        monkeypatch.setenv("REPRO_KERNELS", "numpy")
+        corpus = tmp_path / "corpus.txt"
+        corpus.write_text("\n".join(["password1", "hunter2", "love99", "qwerty12"] * 8) + "\n")
+        out = tmp_path / "report.json"
+        rc = main(
+            [
+                "attack",
+                "--corpus",
+                str(corpus),
+                "--strategy",
+                "markov:2",
+                "--budgets",
+                "50",
+                "--kernels",
+                "numpy",
+                "--report",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert '"kernel_backend": "numpy"' in out.read_text()
+
+
+class TestCLIErrors:
+    def test_bad_kernels_flag_exits_with_one_liner(self, tmp_path):
+        corpus = tmp_path / "corpus.txt"
+        corpus.write_text("password1\nhunter2\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "attack",
+                    "--corpus",
+                    str(corpus),
+                    "--strategy",
+                    "markov:2",
+                    "--kernels",
+                    "fortran",
+                ]
+            )
+        assert "must be one of" in str(excinfo.value)
+
+    def test_numba_flag_without_numba_exits(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(kernels, "numba_available", lambda: False)
+        corpus = tmp_path / "corpus.txt"
+        corpus.write_text("password1\nhunter2\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "attack",
+                    "--corpus",
+                    str(corpus),
+                    "--strategy",
+                    "markov:2",
+                    "--kernels",
+                    "numba",
+                ]
+            )
+        assert "numba is not installed" in str(excinfo.value)
+
+    def test_kernels_flag_exported_to_environment(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        corpus = tmp_path / "corpus.txt"
+        corpus.write_text("\n".join(["password1", "hunter2", "love99", "qwerty12"] * 8) + "\n")
+        main(
+            [
+                "attack",
+                "--corpus",
+                str(corpus),
+                "--strategy",
+                "markov:2",
+                "--budgets",
+                "50",
+                "--kernels",
+                "reference",
+            ]
+        )
+        import os
+
+        assert os.environ.get("REPRO_KERNELS") == "reference"
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    previous = kernels._active
+    yield
+    kernels._active = previous

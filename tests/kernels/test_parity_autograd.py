@@ -1,0 +1,177 @@
+"""Fused autograd ops vs the composed seed-era Tensor graphs.
+
+Forward values must be bitwise identical; gradients agree to tight
+allclose (the fused closed-form backwards reassociate the same real
+arithmetic) and pass finite-difference checks.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.autograd import (
+    Tensor,
+    check_gradients,
+    fused_actnorm,
+    fused_affine_coupling,
+    fused_logit,
+    no_grad,
+)
+
+
+def composed_coupling(x, raw_scale, translate, mask, clamp):
+    """The seed-era AffineCoupling combine as a Tensor expression."""
+    mask_t = Tensor(mask)
+    inv_t = Tensor(1.0 - mask)
+    masked = x * mask_t
+    scale = (raw_scale * (1.0 / clamp)).tanh() * clamp
+    z = masked + inv_t * (x * scale.exp() + translate)
+    log_det = (inv_t * scale).sum(axis=-1)
+    return z, log_det
+
+
+def composed_logit(x, alpha):
+    p = x * (1.0 - 2.0 * alpha) + alpha
+    y = p.log() - (1.0 - p).log()
+    log_det = (np.log(1.0 - 2.0 * alpha) - p.log() - (1.0 - p).log()).sum(axis=-1)
+    return y, log_det
+
+
+def composed_actnorm(x, bias, log_scale):
+    z = (x - bias) * log_scale.exp()
+    log_det = log_scale.sum() * Tensor(np.ones(x.shape[0]))
+    return z, log_det
+
+
+def grads_of(loss, leaves):
+    loss.backward()
+    return [leaf.grad.copy() for leaf in leaves]
+
+
+case = st.tuples(
+    st.integers(min_value=1, max_value=10),  # batch
+    st.integers(min_value=2, max_value=8),  # dim
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+@pytest.fixture(params=["reference", "numpy"])
+def backend(request):
+    with kernels.use_backend(request.param):
+        yield request.param
+
+
+class TestFusedCoupling:
+    @given(case)
+    @settings(max_examples=15, deadline=None)
+    def test_forward_bitwise_and_grads_close(self, c):
+        n, d, seed = c
+        rng = np.random.default_rng(seed)
+        mask = (np.arange(d) % 2).astype(np.float64)
+        xd = rng.normal(size=(n, d))
+        rawd = rng.normal(size=(n, d)) * 3.0
+        td = rng.normal(size=(n, d))
+        for backend_name in ("reference", "numpy"):
+            with kernels.use_backend(backend_name):
+                x1, r1, t1 = Tensor(xd, True), Tensor(rawd, True), Tensor(td, True)
+                z1, ld1 = fused_affine_coupling(x1, r1, t1, mask, 1.0 - mask, 2.0)
+                x2, r2, t2 = Tensor(xd, True), Tensor(rawd, True), Tensor(td, True)
+                z2, ld2 = composed_coupling(x2, r2, t2, mask, 2.0)
+                assert np.array_equal(z1.data, z2.data)
+                assert np.array_equal(ld1.data, ld2.data)
+                g1 = grads_of((z1 * z1).sum() + ld1.sum(), [x1, r1, t1])
+                g2 = grads_of((z2 * z2).sum() + ld2.sum(), [x2, r2, t2])
+                for a, b in zip(g1, g2):
+                    assert np.allclose(a, b, rtol=1e-9, atol=1e-9)
+
+    def test_gradcheck(self, backend):
+        rng = np.random.default_rng(0)
+        mask = np.array([1.0, 0.0, 1.0, 0.0])
+
+        def f(x, raw, t):
+            z, ld = fused_affine_coupling(x, raw, t, mask, 1.0 - mask, 2.0)
+            return (z * z).sum() + ld.sum()
+
+        check_gradients(
+            f,
+            [rng.normal(size=(3, 4)), rng.normal(size=(3, 4)), rng.normal(size=(3, 4))],
+            atol=1e-4,
+        )
+
+    def test_no_grad_builds_no_graph(self, backend):
+        mask = np.array([1.0, 0.0])
+        with no_grad():
+            z, ld = fused_affine_coupling(
+                Tensor(np.ones((2, 2)), True),
+                Tensor(np.ones((2, 2)), True),
+                Tensor(np.ones((2, 2)), True),
+                mask,
+                1.0 - mask,
+                2.0,
+            )
+        assert not z.requires_grad and not ld.requires_grad
+
+
+class TestFusedLogit:
+    @given(case)
+    @settings(max_examples=15, deadline=None)
+    def test_forward_bitwise_and_grads_close(self, c):
+        n, d, seed = c
+        rng = np.random.default_rng(seed)
+        xd = rng.random((n, d)) * 0.9 + 0.05
+        for backend_name in ("reference", "numpy"):
+            with kernels.use_backend(backend_name):
+                x1 = Tensor(xd, True)
+                y1, ld1 = fused_logit(x1, 0.05)
+                x2 = Tensor(xd, True)
+                y2, ld2 = composed_logit(x2, 0.05)
+                assert np.array_equal(y1.data, y2.data)
+                assert np.array_equal(ld1.data, ld2.data)
+                (g1,) = grads_of((y1 * y1).sum() + ld1.sum(), [x1])
+                (g2,) = grads_of((y2 * y2).sum() + ld2.sum(), [x2])
+                assert np.allclose(g1, g2, rtol=1e-9, atol=1e-9)
+
+    def test_gradcheck(self, backend):
+        def f(x):
+            y, ld = fused_logit(x, 0.05)
+            return (y * y).sum() + ld.sum()
+
+        check_gradients(f, [np.random.default_rng(1).random((3, 4)) * 0.8 + 0.1], atol=1e-4)
+
+
+class TestFusedActNorm:
+    @given(case)
+    @settings(max_examples=15, deadline=None)
+    def test_forward_bitwise_and_grads_close(self, c):
+        n, d, seed = c
+        rng = np.random.default_rng(seed)
+        xd = rng.normal(size=(n, d))
+        bd = rng.normal(size=d)
+        lsd = rng.normal(size=d) * 0.5
+        for backend_name in ("reference", "numpy"):
+            with kernels.use_backend(backend_name):
+                x1, b1, ls1 = Tensor(xd, True), Tensor(bd, True), Tensor(lsd, True)
+                z1, ld1 = fused_actnorm(x1, b1, ls1)
+                x2, b2, ls2 = Tensor(xd, True), Tensor(bd, True), Tensor(lsd, True)
+                z2, ld2 = composed_actnorm(x2, b2, ls2)
+                assert np.array_equal(z1.data, z2.data)
+                assert np.array_equal(ld1.data, ld2.data)
+                g1 = grads_of((z1 * z1).sum() + ld1.sum(), [x1, b1, ls1])
+                g2 = grads_of((z2 * z2).sum() + ld2.sum(), [x2, b2, ls2])
+                for a, b in zip(g1, g2):
+                    assert np.allclose(a, b, rtol=1e-9, atol=1e-9)
+
+    def test_gradcheck(self, backend):
+        rng = np.random.default_rng(2)
+
+        def f(x, bias, log_scale):
+            z, ld = fused_actnorm(x, bias, log_scale)
+            return (z * z).sum() + ld.sum()
+
+        check_gradients(
+            f,
+            [rng.normal(size=(3, 4)), rng.normal(size=4), rng.normal(size=4) * 0.3],
+            atol=1e-4,
+        )

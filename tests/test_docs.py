@@ -39,9 +39,15 @@ def links_of(path: Path):
 
 
 def test_docs_exist():
-    """The docs subsystem ships all three guides plus the README."""
+    """The docs subsystem ships every guide plus the README."""
     names = {path.name for path in DOC_FILES}
-    assert {"README.md", "architecture.md", "strategies.md", "parallel.md"} <= names
+    assert {
+        "README.md",
+        "architecture.md",
+        "strategies.md",
+        "parallel.md",
+        "kernels.md",
+    } <= names
 
 
 @pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: str(p.relative_to(REPO)))
