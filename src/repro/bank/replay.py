@@ -356,7 +356,9 @@ def replay_attack(
             f"a budget of {budgets[-1]}"
         )
     method = method or bank.method
-    if workers <= 1 and schedule == "static":
+    if workers <= 1 and schedule == "static" and executor in (None, "auto"):
+        # an explicitly named executor routes through the parallel engine
+        # even single-sharded, so its reports compare like-for-like
         from repro.strategies.engine import AttackEngine
 
         engine = AttackEngine(test_set, budgets, sample_cap=sample_cap)

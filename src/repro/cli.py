@@ -30,7 +30,10 @@ Every workflow in the library is reachable from the shell::
 ``--workers 1``, the default, reproduces seed-era reports
 bit-identically), ``attack --schedule elastic`` switches to the
 work-stealing runtime (dry or straggling shards release their unconsumed
-budget back to the fleet at checkpoints), and ``attack --report
+budget back to the fleet at checkpoints), ``attack --executor
+processpool`` runs either schedule on the fork-server process pool
+(sticky shard affinity; multi-core throughput for GIL-bound strategies,
+same report bytes as the in-process executors), and ``attack --report
 out.json`` writes the full machine-readable GuessingReport next to the
 stdout table.  Shard workers account in interned-id key space whenever
 the strategy streams index-matrix batches, so checkpoint deltas cross the
@@ -151,6 +154,7 @@ def _emit_attack_report(report, args, budgets: List[int], described: str) -> Non
         payload["seed"] = args.seed
         payload["workers"] = args.workers
         payload["schedule"] = args.schedule
+        payload["executor"] = getattr(args, "executor", None) or "auto"
         payload["strategy"] = described
         out = Path(args.report)
         out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -291,10 +295,13 @@ def _attack_from_bank(args) -> int:
             workers=args.workers,
             schedule=args.schedule,
             seed=args.seed,
+            executor=args.executor,
             progress=progress,
         )
     except BankError as exc:
         raise SystemExit(str(exc))
+    except ValueError as exc:
+        raise SystemExit(str(exc))  # e.g. an impossible --executor request
     _emit_attack_report(report, args, budgets, bank.replay_spec())
     return 0
 
@@ -337,16 +344,30 @@ def cmd_attack(args) -> int:
         f"budgets {budgets}{workers}{elastic}"
     )
     progress = ProgressReporter(total=budgets[-1], label="attack")
+    serial = (
+        args.workers == 1
+        and args.schedule == "static"
+        and args.executor in (None, "auto")
+    )
     try:
-        if args.workers == 1 and args.schedule == "static":
+        if serial:
             # serial path: bit-identical to the seed-era single-process engine
             report = AttackEngine(test_set, budgets).run(
                 strategy, np.random.default_rng(args.seed), progress=progress
             )
         else:
-            engine = ParallelAttackEngine(
-                test_set, budgets, workers=args.workers, schedule=args.schedule
-            )
+            try:
+                engine = ParallelAttackEngine(
+                    test_set,
+                    budgets,
+                    workers=args.workers,
+                    schedule=args.schedule,
+                    executor=args.executor,
+                )
+            except ValueError as exc:
+                # an explicit --executor the platform or schedule cannot
+                # honor: one actionable line, not a traceback
+                raise SystemExit(str(exc))
             report = engine.run(
                 source.pin(strategy),
                 seed=args.seed,
@@ -598,6 +619,17 @@ def build_parser() -> argparse.ArgumentParser:
         "elastic (work-stealing chunks; dry/straggling shards release "
         "their unconsumed budget back to the fleet at checkpoints)",
     )
+    # a plain string (not argparse choices) so impossible requests surface
+    # the runtime's one-line actionable error instead of a usage dump
+    p.add_argument(
+        "--executor",
+        default="auto",
+        help="shard executor: auto|local|process|worksteal|processpool "
+        "(default auto picks per schedule/platform; processpool = "
+        "fork-server pool with sticky shard affinity -- multi-core "
+        "throughput for GIL-bound strategies, same report bytes as "
+        "local for a fixed seed/workers/schedule)",
+    )
     p.add_argument(
         "--report",
         help="write the full GuessingReport (rows + samples) as JSON here",
@@ -702,7 +734,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.verbose:
         enable_console_logging()
-    return args.func(args)
+    # --kernels exports REPRO_KERNELS so forked shard workers inherit the
+    # choice, but the export must not outlive the command: harnesses and
+    # tests drive main() in-process, and a leaked value would silently
+    # repoint every later kernels.select(None) call
+    prior = os.environ.get("REPRO_KERNELS")
+    try:
+        return args.func(args)
+    finally:
+        if os.environ.get("REPRO_KERNELS") != prior:
+            if prior is None:
+                os.environ.pop("REPRO_KERNELS", None)
+            else:
+                os.environ["REPRO_KERNELS"] = prior
+            try:
+                kernels.select(None)  # re-pin the in-process backend too
+            except ValueError:
+                pass
 
 
 if __name__ == "__main__":

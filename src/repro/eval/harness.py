@@ -162,6 +162,7 @@ class EvalContext:
         alphabet: Optional[Alphabet] = None,
         workers: Optional[int] = None,
         schedule: Optional[str] = None,
+        executor: Optional[str] = None,
         bank_dir: Optional[Path | str] = None,
     ) -> None:
         self.settings = settings or settings_from_env()
@@ -191,6 +192,20 @@ class EvalContext:
                 f"schedule must be 'static' or 'elastic', got {schedule!r}"
             )
         self.schedule = schedule
+        # shard executor: explicit argument, else REPRO_ATTACK_EXECUTOR,
+        # else "auto" (per-schedule default; "processpool" = the
+        # fork-server pool, same report bytes for a fixed
+        # seed/workers/schedule, real multi-core throughput for
+        # GIL-bound strategies)
+        if executor is None:
+            executor = os.environ.get("REPRO_ATTACK_EXECUTOR", "auto")
+        from repro.runtime import EXECUTOR_NAMES
+
+        if executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_NAMES}, got {executor!r}"
+            )
+        self.executor = executor
         # guess-bank reuse: explicit argument, else $REPRO_GUESS_BANK, else
         # off.  When set, run_attack banks each deterministic-replayable
         # strategy's stream on first use and replays the mmapped artifact
@@ -447,6 +462,7 @@ class EvalContext:
             workers=workers,
             schedule=schedule,
             seed=seed,
+            executor=self.executor,
             method=method,
         )
 
@@ -487,7 +503,7 @@ class EvalContext:
             report = self._run_banked(spec, label, method, source, workers, schedule)
             if report is not None:
                 return report
-        if workers <= 1 and schedule == "static":
+        if workers <= 1 and schedule == "static" and self.executor == "auto":
             return self.engine().run(
                 source.build(), self.attack_rng(label), method=method
             )
@@ -496,6 +512,7 @@ class EvalContext:
             self.settings.guess_budgets,
             workers=workers,
             schedule=schedule,
+            executor=self.executor,
         )
         # method=None lets the shard strategies name the report, matching
         # the serial engine's default (e.g. "Markov-3", not "markov:3")

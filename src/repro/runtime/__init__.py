@@ -14,6 +14,10 @@ Three layers sit between a strategy spec and a Table II/III report:
   persistent thread pool (any idle worker pulls the next chunk of any
   shard, and dry shards' budgets are re-planned onto the live fleet at
   checkpoint boundaries -- see :mod:`repro.runtime.elastic`);
+  :class:`ProcessPoolExecutor` (:mod:`repro.runtime.pool`) runs either
+  schedule on a fork-server pool of long-lived workers with sticky
+  shard-to-process affinity -- real multi-core throughput for GIL-bound
+  strategies under elastic re-planning;
 * :class:`ParallelAttackEngine` merges the shards' checkpoint deltas into
   the same :class:`~repro.core.guesser.BudgetRow` checkpoints the serial
   engine emits.  Shards that account in interned-id key space (every
@@ -54,7 +58,12 @@ from repro.runtime.executor import (
     WorkStealingExecutor,
     execute_shard,
 )
-from repro.runtime.parallel import ParallelAttackEngine, default_executor
+from repro.runtime.parallel import (
+    EXECUTOR_NAMES,
+    ParallelAttackEngine,
+    default_executor,
+    resolve_executor,
+)
 from repro.runtime.planner import (
     ShardPlan,
     ShardPlanner,
@@ -63,11 +72,15 @@ from repro.runtime.planner import (
     split_budget,
 )
 
+from repro.runtime.pool import ProcessPoolExecutor
+
 __all__ = [
+    "EXECUTOR_NAMES",
     "ElasticShardOutcome",
     "LocalExecutor",
     "ParallelAttackEngine",
     "ProcessExecutor",
+    "ProcessPoolExecutor",
     "ShardOutcome",
     "ShardPlan",
     "ShardPlanner",
@@ -79,6 +92,7 @@ __all__ = [
     "chunk_quotas",
     "default_executor",
     "execute_shard",
+    "resolve_executor",
     "run_elastic",
     "split_budget",
 ]

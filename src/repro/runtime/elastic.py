@@ -44,7 +44,7 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
 from repro.core.guesser import Delta, GuessAccounting, KeyedCheckpointDelta
-from repro.runtime.executor import StrategySource, _ShardProgress
+from repro.runtime.executor import _ShardProgress, build_shard_strategy
 from repro.runtime.planner import ShardPlanner, ShardProgress, balanced_totals
 from repro.strategies.engine import AttackEngine, AttackState
 from repro.utils.logging import get_logger
@@ -131,11 +131,7 @@ class _ShardRun:
     def __init__(self, index, task, workers: int = 1) -> None:
         self.index = index
         self.task = task
-        self.strategy = (
-            task.source.build()
-            if isinstance(task.source, StrategySource)
-            else task.source()
-        )
+        self.strategy = build_shard_strategy(task.source, index)
         self.method = getattr(self.strategy, "name", None)
         bind_shard = getattr(self.strategy, "bind_shard", None)
         if bind_shard is not None:
@@ -223,6 +219,87 @@ class _ShardRun:
         return out
 
 
+#: One shard's chunk work for a round: ``(shard_index, [chunk sizes])``.
+#: Chunk boundaries are cut by the driver (:func:`chunk_quotas`) so the
+#: elastic determinism key stays centralized; hosts only execute them.
+ChunkAssignment = Tuple[int, List[int]]
+
+
+class _InProcessChunkHost:
+    """Shard state owned by the driver's process, dispatched as thunk chains.
+
+    The reference implementation of the elastic *shard-host* protocol
+    (``progress`` / ``run_round`` / ``close_window`` / ``errors`` /
+    ``outcomes`` / ``finish``): one :class:`_ShardRun` per shard lives in
+    this process, and each round's :class:`ChunkAssignment` list is
+    translated into the zero-argument chunk-chain form the in-process
+    executors (:class:`~repro.runtime.executor.LocalExecutor`,
+    :class:`~repro.runtime.executor.WorkStealingExecutor`) speak.
+    :class:`~repro.runtime.pool.ProcessPoolExecutor` implements the same
+    protocol with shard state living in forked workers instead.
+    """
+
+    def __init__(self, task, workers: int, executor) -> None:
+        self.executor = executor
+        self.runs = [_ShardRun(index, task, workers=workers) for index in range(workers)]
+
+    def progress(self) -> List[ShardProgress]:
+        """Every shard's (consumed, live) snapshot, in shard order."""
+        return [
+            ShardProgress(run.index, run.consumed, run.live) for run in self.runs
+        ]
+
+    def errors(self) -> dict:
+        """Crashed shards, by index (empty for a clean fleet)."""
+        return {run.index: run.error for run in self.runs if run.error is not None}
+
+    def run_round(self, assignments: List[ChunkAssignment]) -> None:
+        """Run one round of chunk chains; crashed shards are retired."""
+        chains = [
+            [
+                (lambda run=self.runs[index], size=size: run.run_chunk(size))
+                for size in sizes
+            ]
+            for index, sizes in assignments
+        ]
+        errors = self.executor.run_chains(chains)
+        for (index, _), error in zip(assignments, errors):
+            if error is not None:
+                run = self.runs[index]
+                run.live = False
+                run.error = error
+                logger.warning(
+                    "elastic shard %d crashed (%r); re-queueing its "
+                    "remaining budget",
+                    index,
+                    error,
+                )
+
+    def close_window(self) -> None:
+        """Seal the current budget window on every shard."""
+        for run in self.runs:
+            run.close_window()
+
+    def outcomes(self) -> List[ElasticShardOutcome]:
+        """Freeze every shard into a mergeable outcome, in shard order."""
+        return [run.outcome() for run in self.runs]
+
+    def finish(self) -> None:
+        """Release host resources (nothing to do in-process)."""
+
+
+def _make_host(task, workers: int, executor):
+    """The shard host for ``executor``: its own, or the in-process reference."""
+    if hasattr(executor, "elastic_host"):
+        return executor.elastic_host(task, workers)
+    if hasattr(executor, "run_chains"):
+        return _InProcessChunkHost(task, workers, executor)
+    raise ValueError(
+        f"{type(executor).__name__} cannot run elastic schedules; use "
+        "LocalExecutor, WorkStealingExecutor or ProcessPoolExecutor"
+    )
+
+
 def run_elastic(
     task,
     planner: ShardPlanner,
@@ -232,89 +309,69 @@ def run_elastic(
     """Drive one attack elastically; returns (outcomes, completed windows).
 
     ``task`` is the shared :class:`~repro.runtime.executor.ShardTask`;
-    ``executor`` must speak the chunk-chain protocol (``run_chains``:
-    :class:`~repro.runtime.executor.LocalExecutor` or
-    :class:`~repro.runtime.executor.WorkStealingExecutor`).  Every budget
-    window runs as one or more deterministic rounds: live shards receive
-    their re-planned quota as a chain of chunks, the executor runs the
-    chains (stealing freely across shards), and any shortfall left by dry
-    or crashed shards is re-split over the survivors.  The returned count
-    says how many global budgets were fully consumed; the caller emits a
-    close-out row from the remaining deltas when it is short.
+    ``executor`` must either speak the chunk-chain protocol
+    (``run_chains``: :class:`~repro.runtime.executor.LocalExecutor` or
+    :class:`~repro.runtime.executor.WorkStealingExecutor`) or provide its
+    own shard host (``elastic_host``:
+    :class:`~repro.runtime.pool.ProcessPoolExecutor`, whose shard state
+    lives in forked workers).  Every budget window runs as one or more
+    deterministic rounds: live shards receive their re-planned quota as a
+    chain of chunks, the host runs the chains (stealing or process
+    affinity, per executor), and any shortfall left by dry or crashed
+    shards is re-split over the survivors.  The returned count says how
+    many global budgets were fully consumed; the caller emits a close-out
+    row from the remaining deltas when it is short.
 
     Raises the first shard error when *every* shard crashed (there is
     nothing left to absorb the budget, and silence would hide the bug).
     """
-    if not hasattr(executor, "run_chains"):
-        raise ValueError(
-            f"{type(executor).__name__} cannot run elastic schedules; use "
-            "LocalExecutor or WorkStealingExecutor"
-        )
-    runs = [
-        _ShardRun(index, task, workers=planner.workers)
-        for index in range(planner.workers)
-    ]
-    completed = 0
-    for j, budget in enumerate(planner.budgets):
-        live = [run for run in runs if run.live]
-        if not live:
-            break
-        plans = planner.replan(
-            [ShardProgress(run.index, run.consumed, run.live) for run in runs],
-            planner.budgets[j:],
-        )
-        quotas = {
-            run.index: plans[run.index].marks[0] - run.consumed
-            for run in runs
-            if run.live
-        }
-        while True:
-            assignments = [
-                (runs[index], quota)
-                for index, quota in sorted(quotas.items())
-                if quota > 0 and runs[index].live
-            ]
-            if not assignments:
+    host = _make_host(task, planner.workers, executor)
+    try:
+        completed = 0
+        for j, budget in enumerate(planner.budgets):
+            progress = host.progress()
+            if not any(p.live for p in progress):
                 break
-            chains = [
-                [
-                    (lambda run=run, size=size: run.run_chunk(size))
-                    for size in chunk_quotas(quota, chunk_size)
-                ]
-                for run, quota in assignments
-            ]
-            errors = executor.run_chains(chains)
-            for (run, _), error in zip(assignments, errors):
-                if error is not None:
-                    run.live = False
-                    run.error = error
-                    logger.warning(
-                        "elastic shard %d crashed (%r); re-queueing its "
-                        "remaining budget",
-                        run.index,
-                        error,
-                    )
-            if sum(run.consumed for run in runs) >= budget:
-                break
-            live = [run for run in runs if run.live]
-            if not live:
-                break
-            # released budget flows to the least-loaded survivors first,
-            # mirroring the replan rule (deterministic: depends only on
-            # guess counts, never on timing)
-            dead_total = sum(run.consumed for run in runs if not run.live)
-            targets = balanced_totals(
-                [run.consumed for run in live], budget - dead_total
-            )
+            plans = planner.replan(progress, planner.budgets[j:])
             quotas = {
-                run.index: target - run.consumed
-                for run, target in zip(live, targets)
+                p.index: plans[p.index].marks[0] - p.consumed
+                for p in progress
+                if p.live
             }
-        for run in runs:
-            run.close_window()
-        if sum(run.consumed for run in runs) < budget:
-            break
-        completed = j + 1
-    if runs and all(run.error is not None for run in runs):
-        raise runs[0].error
-    return [run.outcome() for run in runs], completed
+            while True:
+                alive = {p.index for p in host.progress() if p.live}
+                assignments = [
+                    (index, chunk_quotas(quota, chunk_size))
+                    for index, quota in sorted(quotas.items())
+                    if quota > 0 and index in alive
+                ]
+                if not assignments:
+                    break
+                host.run_round(assignments)
+                progress = host.progress()
+                if sum(p.consumed for p in progress) >= budget:
+                    break
+                live = [p for p in progress if p.live]
+                if not live:
+                    break
+                # released budget flows to the least-loaded survivors first,
+                # mirroring the replan rule (deterministic: depends only on
+                # guess counts, never on timing)
+                dead_total = sum(p.consumed for p in progress if not p.live)
+                targets = balanced_totals(
+                    [p.consumed for p in live], budget - dead_total
+                )
+                quotas = {
+                    p.index: target - p.consumed
+                    for p, target in zip(live, targets)
+                }
+            host.close_window()
+            if sum(p.consumed for p in host.progress()) < budget:
+                break
+            completed = j + 1
+        errors = host.errors()
+        if planner.workers and len(errors) == planner.workers:
+            raise errors[min(errors)]
+        return host.outcomes(), completed
+    finally:
+        host.finish()

@@ -191,13 +191,29 @@ class _ShardProgress:
         pass
 
 
+def build_shard_strategy(source, index: int):
+    """One shard's strategy instance from whatever ``source`` shape.
+
+    Sources exposing ``for_shard(index)`` get the shard index -- the only
+    build path that stays deterministic when shards are built in
+    different processes (fork-server workers each inherit the source and
+    build only their own shards, so build *order* is per-worker, not
+    global).  Everything else keeps the legacy contract: a
+    :class:`StrategySource` spec recipe or any zero-argument factory.
+    """
+    for_shard = getattr(source, "for_shard", None)
+    if for_shard is not None:
+        return for_shard(index)
+    return source.build() if isinstance(source, StrategySource) else source()
+
+
 def execute_shard(task: ShardTask, plan: ShardPlan) -> ShardOutcome:
     """Run one shard to completion (used by both executors)."""
     local_budgets = plan.local_budgets
     outcome = ShardOutcome(index=plan.index, local_budgets=local_budgets)
     if not local_budgets:
         return outcome  # more workers than guesses at every budget
-    strategy = task.source.build() if isinstance(task.source, StrategySource) else task.source()
+    strategy = build_shard_strategy(task.source, plan.index)
     outcome.method = getattr(strategy, "name", None)
     bind_shard = getattr(strategy, "bind_shard", None)
     if bind_shard is not None:
@@ -311,37 +327,55 @@ class WorkStealingExecutor:
         )
         unfinished = len(ready)
         condition = threading.Condition()
+        abort = False
 
         def pull() -> None:
-            nonlocal unfinished
-            while True:
-                with condition:
-                    while not ready and unfinished > 0:
-                        condition.wait()
-                    if not ready:
-                        return
-                    index, chain_iter = ready.popleft()
-                    thunk = next(chain_iter, None)
-                    if thunk is None:
-                        unfinished -= 1
-                        condition.notify_all()
-                        continue
-                try:
-                    thunk()
-                except Exception as exc:  # noqa: BLE001 - reported to the driver
+            nonlocal unfinished, abort
+            try:
+                while True:
                     with condition:
-                        errors[index] = exc
-                        unfinished -= 1
-                        condition.notify_all()
-                    continue
+                        while not ready and unfinished > 0 and not abort:
+                            condition.wait()
+                        if not ready or abort:
+                            return
+                        index, chain_iter = ready.popleft()
+                        thunk = next(chain_iter, None)
+                        if thunk is None:
+                            unfinished -= 1
+                            condition.notify_all()
+                            continue
+                    try:
+                        thunk()
+                    except Exception as exc:  # noqa: BLE001 - reported to the driver
+                        with condition:
+                            errors[index] = exc
+                            unfinished -= 1
+                            condition.notify_all()
+                        continue
+                    with condition:
+                        ready.append((index, chain_iter))
+                        condition.notify()
+            except BaseException:
+                # a worker-loop bug (or KeyboardInterrupt inside a chunk)
+                # must wake the siblings blocked in wait(), or the round --
+                # and the pool shutdown behind it -- deadlocks forever
                 with condition:
-                    ready.append((index, chain_iter))
-                    condition.notify()
+                    abort = True
+                    condition.notify_all()
+                raise
 
         pool = self._ensure_pool()
         futures = [pool.submit(pull) for _ in range(min(self.workers, len(chains)))]
-        for future in futures:
-            future.result()  # re-raise worker-loop bugs (not chunk errors)
+        try:
+            for future in futures:
+                future.result()  # re-raise worker-loop bugs (not chunk errors)
+        except BaseException:
+            with condition:
+                abort = True
+                condition.notify_all()
+            for future in futures:
+                future.cancel()
+            raise
         return errors
 
     def shutdown(self) -> None:
@@ -351,18 +385,78 @@ class WorkStealingExecutor:
             self._pool = None
 
 
+def picklable_exception(exc: BaseException) -> Optional[BaseException]:
+    """The exception itself when it survives pickling, else ``None``.
+
+    Worker processes ship their failures to the parent through a result
+    queue; an exception that can cross it intact is re-raised with its
+    original type (e.g. a clean ``SpecError``), anything else degrades to
+    the traceback string the caller sends alongside.
+    """
+    try:
+        import pickle
+
+        pickle.dumps(exc)
+        return exc
+    except Exception:
+        return None
+
+
+def reap_processes(processes: Sequence) -> None:
+    """Terminate and join every child, no matter how the parent is exiting.
+
+    The shared teardown tail of both process executors: called from a
+    ``finally`` so a parent raising mid-collection (KeyboardInterrupt, a
+    re-raised shard error) never leaves forked children running.  Safe on
+    the clean path too -- a worker that already reported its result is
+    either exiting or blocked in a queue feeder; ``terminate`` just
+    hastens it.  Joins get a bounded timeout with a ``kill`` fallback so
+    teardown cannot hang on a wedged child.
+    """
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=5.0)
+        if process.is_alive():  # terminate ignored (e.g. masked SIGTERM)
+            process.kill()
+            process.join(timeout=5.0)
+
+
+class CorpseWatch:
+    """Detects workers that died without reporting a result.
+
+    Both process executors drain a result queue with a timeout; on every
+    timeout they feed this watch the indices of workers that are no
+    longer alive but still owe results.  A worker that just exited may
+    have its final message in flight through the queue's feeder pipe, so
+    the watch only gives up after ``grace`` consecutive idle rounds with
+    corpses present; any successful receive resets it.
+    """
+
+    def __init__(self, grace: int = 3) -> None:
+        self.grace = grace
+        self._idle_rounds = 0
+
+    def note_receive(self) -> None:
+        """A message arrived; the queue is live again."""
+        self._idle_rounds = 0
+
+    def note_timeout(self, dead: Sequence[int]) -> Optional[List[int]]:
+        """An idle round elapsed; returns the corpse list once out of grace."""
+        self._idle_rounds = self._idle_rounds + 1 if dead else 0
+        if self._idle_rounds >= self.grace:
+            return list(dead)
+        return None
+
+
 def _shard_entry(queue, task: ShardTask, plan: ShardPlan) -> None:
     try:
         queue.put((plan.index, execute_shard(task, plan), None))
     except BaseException as exc:  # surface worker failures in the parent
-        try:
-            import pickle
-
-            pickle.dumps(exc)
-            payload = exc  # re-raisable with its original type (e.g. SpecError)
-        except Exception:
-            payload = None
-        queue.put((plan.index, None, (payload, traceback.format_exc())))
+        queue.put(
+            (plan.index, None, (picklable_exception(exc), traceback.format_exc()))
+        )
 
 
 class ProcessExecutor:
@@ -379,6 +473,12 @@ class ProcessExecutor:
         if "fork" not in multiprocessing.get_all_start_methods():
             raise RuntimeError("ProcessExecutor requires the fork start method")
         self._context = multiprocessing.get_context("fork")
+        self._processes: List = []
+
+    @staticmethod
+    def _receive(queue):
+        """One blocking result-queue read (seam for cleanup regression tests)."""
+        return queue.get(timeout=1.0)
 
     def run(self, task: ShardTask, plans: Sequence[ShardPlan]) -> List[ShardOutcome]:
         """Fork one worker per shard; gather outcomes in shard-index order.
@@ -393,30 +493,32 @@ class ProcessExecutor:
             )
             for plan in plans
         ]
+        self._processes = processes  # inspectable by cleanup regression tests
         for process in processes:
             process.start()
         outcomes: List[Optional[ShardOutcome]] = [None] * len(plans)
         failure: Optional[str] = None
         shard_exception: Optional[BaseException] = None
         collected = 0
-        idle_rounds_with_dead = 0
+        watch = CorpseWatch()
         try:
             while collected < len(plans) and failure is None:
                 try:
-                    index, outcome, error = queue.get(timeout=1.0)
+                    index, outcome, error = self._receive(queue)
                 except Exception:  # queue.Empty: check for silently dead workers
-                    dead = [
-                        plan.index
-                        for plan, process in zip(plans, processes)
-                        if not process.is_alive() and outcomes[plan.index] is None
-                    ]
-                    # grace rounds: a just-exited worker's result may still
-                    # be in flight through the queue's feeder pipe
-                    idle_rounds_with_dead = idle_rounds_with_dead + 1 if dead else 0
-                    if idle_rounds_with_dead >= 3:
-                        failure = f"shard(s) {dead} died without reporting a result"
+                    corpses = watch.note_timeout(
+                        [
+                            plan.index
+                            for plan, process in zip(plans, processes)
+                            if not process.is_alive() and outcomes[plan.index] is None
+                        ]
+                    )
+                    if corpses is not None:
+                        failure = (
+                            f"shard(s) {corpses} died without reporting a result"
+                        )
                     continue
-                idle_rounds_with_dead = 0
+                watch.note_receive()
                 if error is not None:
                     shard_exception, trace = error
                     failure = f"shard {index} failed:\n{trace}"
@@ -424,10 +526,9 @@ class ProcessExecutor:
                     outcomes[index] = outcome
                     collected += 1
         finally:
-            for process in processes:
-                if process.is_alive() and failure is not None:
-                    process.terminate()
-                process.join()
+            # unconditional: a parent raising mid-collection (KeyboardInterrupt,
+            # a shard error re-raise below) must not orphan live children
+            reap_processes(processes)
             queue.close()
         if failure is not None:
             if shard_exception is not None:

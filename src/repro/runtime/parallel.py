@@ -59,12 +59,15 @@ from repro.runtime.executor import (
     WorkStealingExecutor,
 )
 from repro.runtime.planner import ShardPlan, ShardPlanner
+from repro.runtime.pool import ProcessPoolExecutor
 from repro.utils.logging import get_logger
 from repro.utils.progress import ProgressReporter
 
 logger = get_logger("runtime.parallel")
 
 SCHEDULES = ("static", "elastic")
+
+EXECUTOR_NAMES = ("auto", "local", "process", "worksteal", "processpool")
 
 
 def default_executor(workers: int, schedule: str = "static"):
@@ -85,6 +88,54 @@ def default_executor(workers: int, schedule: str = "static"):
     except RuntimeError:
         logger.warning("fork unavailable; running %d shards in-process", workers)
         return LocalExecutor()
+
+
+def resolve_executor(name: Optional[str], workers: int, schedule: str = "static"):
+    """Build the executor a ``--executor`` request names, or fail clearly.
+
+    ``None``/``"auto"`` defers to :func:`default_executor` (which may
+    fall back silently); an *explicit* name must either work or raise a
+    one-line actionable :class:`ValueError` -- no fallback, no
+    traceback-only ``RuntimeError`` -- so CLI and harness callers can
+    print it verbatim.
+    """
+    if name is None or name == "auto":
+        return default_executor(workers, schedule)
+    if name == "local":
+        return LocalExecutor()
+    if name == "worksteal":
+        if schedule != "elastic":
+            raise ValueError(
+                "--executor worksteal only runs elastic schedules; use "
+                "'local', 'process' or 'processpool' with --schedule static"
+            )
+        return LocalExecutor() if workers <= 1 else WorkStealingExecutor(workers)
+    if name == "process":
+        if schedule == "elastic":
+            raise ValueError(
+                "--executor process cannot run elastic schedules (shard "
+                "state cannot migrate across forks); use 'processpool', "
+                "'worksteal' or 'local'"
+            )
+        try:
+            return ProcessExecutor()
+        except RuntimeError:
+            raise ValueError(
+                "--executor process requires the fork start method, which "
+                "this platform does not provide; use --executor local"
+            ) from None
+    if name == "processpool":
+        try:
+            return ProcessPoolExecutor(processes=workers)
+        except RuntimeError:
+            raise ValueError(
+                "--executor processpool requires the fork start method, "
+                "which this platform does not provide; use --executor "
+                "local or worksteal"
+            ) from None
+    raise ValueError(
+        f"unknown executor {name!r}; choose from {', '.join(EXECUTOR_NAMES)}"
+    )
 
 
 class _DeltaFold:
@@ -165,14 +216,24 @@ class ParallelAttackEngine:
         self.workers = self.planner.workers
         self.schedule = schedule
         self.chunk_size = chunk_size
-        self._owns_executor = executor is None
+        self._owns_executor = executor is None or isinstance(executor, str)
         self.executor = (
-            executor if executor is not None else default_executor(workers, schedule)
+            resolve_executor(executor, self.planner.workers, schedule)
+            if executor is None or isinstance(executor, str)
+            else executor
         )
-        if schedule == "elastic" and not hasattr(self.executor, "run_chains"):
+        if schedule == "elastic" and not (
+            hasattr(self.executor, "run_chains")
+            or hasattr(self.executor, "elastic_host")
+        ):
             raise ValueError(
                 f"{type(self.executor).__name__} cannot run elastic schedules; "
-                "use LocalExecutor or WorkStealingExecutor"
+                "use LocalExecutor, WorkStealingExecutor or ProcessPoolExecutor"
+            )
+        if schedule == "static" and not hasattr(self.executor, "run"):
+            raise ValueError(
+                f"{type(self.executor).__name__} cannot run static schedules; "
+                "use LocalExecutor, ProcessExecutor or ProcessPoolExecutor"
             )
         self.sample_cap = sample_cap
 

@@ -150,10 +150,27 @@ class TestCLIErrors:
             )
         assert "numba is not installed" in str(excinfo.value)
 
-    def test_kernels_flag_exported_to_environment(self, tmp_path, monkeypatch):
+    def test_kernels_flag_exported_during_run_restored_after(
+        self, tmp_path, monkeypatch
+    ):
+        """--kernels is in the environment while the command runs (forked
+        shard workers inherit it) but rolled back when main() returns, so
+        in-process callers never see a leaked backend choice."""
+        import os
+
+        import repro.cli as cli_module
+
         monkeypatch.delenv("REPRO_KERNELS", raising=False)
         corpus = tmp_path / "corpus.txt"
         corpus.write_text("\n".join(["password1", "hunter2", "love99", "qwerty12"] * 8) + "\n")
+        seen = {}
+        real_emit = cli_module._emit_attack_report
+
+        def spying_emit(report, args, budgets, described):
+            seen["env"] = os.environ.get("REPRO_KERNELS")
+            return real_emit(report, args, budgets, described)
+
+        monkeypatch.setattr(cli_module, "_emit_attack_report", spying_emit)
         main(
             [
                 "attack",
@@ -167,9 +184,8 @@ class TestCLIErrors:
                 "reference",
             ]
         )
-        import os
-
-        assert os.environ.get("REPRO_KERNELS") == "reference"
+        assert seen["env"] == "reference"  # live for the run's workers
+        assert os.environ.get("REPRO_KERNELS") is None  # rolled back
 
 
 @pytest.fixture(autouse=True)

@@ -9,6 +9,9 @@ registry spec strings, exactly as a production strategy would cross the
 fork boundary.
 """
 
+import threading
+import time
+
 import pytest
 
 from repro.runtime import (
@@ -16,6 +19,7 @@ from repro.runtime import (
     ParallelAttackEngine,
     ProcessExecutor,
     StrategySource,
+    WorkStealingExecutor,
 )
 
 TEST_SET = {f"g{n:07d}" for n in range(0, 200, 5)}
@@ -71,3 +75,75 @@ class TestCrashingStrategy:
         )
         with pytest.raises(RuntimeError, match="hit its mark"):
             engine.run(StrategySource("crashing?at=30&batch=16"), seed=3)
+
+
+class TestOrphanCleanup:
+    def test_interrupt_mid_collection_reaps_children(self, monkeypatch):
+        """Regression: a parent raising mid-collection must not orphan forks.
+
+        ``_receive`` is the seam the collection loop reads results
+        through; making it raise KeyboardInterrupt models an operator ^C
+        while straggling shards are still generating.  Before the fix the
+        ``finally`` block only terminated children after *shard* errors,
+        so this exact path left live straggler processes behind.
+        """
+        executor = _process_executor()
+        engine = ParallelAttackEngine(
+            set(TEST_SET), [5000], workers=2, executor=executor
+        )
+
+        def interrupted(queue):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(ProcessExecutor, "_receive", staticmethod(interrupted))
+        with pytest.raises(KeyboardInterrupt):
+            engine.run(StrategySource("straggler?delay=0.05&batch=16"), seed=3)
+        assert executor._processes  # the run really forked a fleet
+        for process in executor._processes:
+            assert not process.is_alive()
+
+
+class TestThreadPoolRelease:
+    def test_no_thread_growth_across_repeated_failing_runs(self):
+        """Regression: failing elastic runs must release their pools."""
+        baseline = threading.active_count()
+        for _ in range(3):
+            engine = ParallelAttackEngine(
+                set(TEST_SET),
+                [400],
+                workers=2,
+                schedule="elastic",
+                executor="worksteal",
+            )
+            with pytest.raises(RuntimeError, match="hit its mark"):
+                engine.run(StrategySource("crashing?at=30&batch=16"), seed=3)
+        deadline = time.monotonic() + 5.0
+        while threading.active_count() > baseline and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert threading.active_count() <= baseline
+
+    def test_interrupt_inside_chunk_does_not_strand_siblings(self):
+        """Regression: a BaseException escaping one pull worker used to
+        leave its siblings waiting on the condition forever, turning
+        ``shutdown(wait=True)`` into a deadlock."""
+        pool = WorkStealingExecutor(2)
+
+        def boom():
+            raise KeyboardInterrupt
+
+        def idle():
+            time.sleep(0.01)
+
+        try:
+            with pytest.raises(BaseException):
+                pool.run_chains([[boom], [idle, idle, idle]])
+        finally:
+            finished = threading.Event()
+
+            def close():
+                pool.shutdown()
+                finished.set()
+
+            closer = threading.Thread(target=close, daemon=True)
+            closer.start()
+            assert finished.wait(timeout=10.0), "shutdown deadlocked"

@@ -165,6 +165,106 @@ class TestAttack:
             )
 
 
+class TestExecutorFlag:
+    def _attack(self, corpus_file, path, executor, schedule="elastic"):
+        import json
+
+        assert main(
+            [
+                "attack",
+                "--corpus", str(corpus_file),
+                "--strategy", "markov:3",
+                "--budgets", "100,300",
+                "--workers", "2",
+                "--schedule", schedule,
+                "--executor", executor,
+                "--report", str(path),
+            ]
+        ) == 0
+        return json.loads(path.read_text())
+
+    def test_processpool_report_matches_local(self, corpus_file, tmp_path, capsys):
+        """The acceptance check: same report bytes modulo the executor stamp."""
+        local = self._attack(corpus_file, tmp_path / "local.json", "local")
+        pool = self._attack(corpus_file, tmp_path / "pool.json", "processpool")
+        assert local.pop("executor") == "local"
+        assert pool.pop("executor") == "processpool"
+        assert local == pool
+
+    def test_default_reports_stamp_auto(self, corpus_file, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "auto.json"
+        assert main(
+            [
+                "attack",
+                "--corpus", str(corpus_file),
+                "--strategy", "markov:3",
+                "--budgets", "100",
+                "--report", str(path),
+            ]
+        ) == 0
+        assert json.loads(path.read_text())["executor"] == "auto"
+
+    def test_impossible_combo_exits_with_one_liner(self, corpus_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "attack",
+                    "--corpus", str(corpus_file),
+                    "--strategy", "markov:3",
+                    "--workers", "2",
+                    "--executor", "worksteal",
+                ]
+            )
+        assert "only runs elastic" in str(excinfo.value)
+
+    def test_unknown_executor_exits_with_choices(self, corpus_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "attack",
+                    "--corpus", str(corpus_file),
+                    "--strategy", "markov:3",
+                    "--workers", "2",
+                    "--executor", "threads",
+                ]
+            )
+        assert "processpool" in str(excinfo.value)
+
+
+class TestKernelsEnvRestore:
+    def _attack(self, corpus_file, capsys):
+        assert main(
+            [
+                "attack",
+                "--corpus", str(corpus_file),
+                "--strategy", "markov:3",
+                "--budgets", "100",
+                "--kernels", "numpy",
+            ]
+        ) == 0
+        capsys.readouterr()
+
+    def test_kernels_flag_does_not_leak_into_environ(
+        self, corpus_file, capsys, monkeypatch
+    ):
+        """Regression: --kernels exported REPRO_KERNELS permanently, silently
+        repointing every later in-process kernels.select(None) call."""
+        import os
+
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        self._attack(corpus_file, capsys)
+        assert "REPRO_KERNELS" not in os.environ
+
+    def test_prior_env_value_is_restored(self, corpus_file, capsys, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_KERNELS", "reference")
+        self._attack(corpus_file, capsys)
+        assert os.environ["REPRO_KERNELS"] == "reference"
+
+
 class TestLatentCommands:
     def test_interpolate(self, model_file, capsys):
         assert main(["interpolate", "--model", str(model_file), "love12", "123456"]) == 0
