@@ -26,7 +26,7 @@ from __future__ import annotations
 import hashlib
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -167,6 +167,9 @@ class GuessBank:
         self.manifest = manifest
         self.keys = keys
         self.codec = codec_from_header(manifest["codec"])
+        # lazily built rank index (sorted unique keys + first-occurrence
+        # ranks); None until the first lookup pays the one-time sort
+        self._rank_index: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -236,6 +239,56 @@ class GuessBank:
         from repro.strategies.registry import format_spec
 
         return format_spec("bank", str(self.path))
+
+    # ------------------------------------------------------------------
+    # rank lookups (the serving tier's targeted-guessing endpoint)
+    # ------------------------------------------------------------------
+    def _ensure_rank_index(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Build (once) the sorted-key index behind :meth:`rank_of_keys`.
+
+        A stable argsort of the stream keeps positions increasing inside
+        each run of equal keys, so the first occurrence of every unique
+        key is the one at its group start.  The index is two dense arrays
+        -- sorted unique keys and their first-occurrence stream positions
+        -- against which lookups are a binary search, never a scan of the
+        mmapped stream.
+        """
+        if self._rank_index is None:
+            order = np.argsort(self.keys, kind="stable")
+            sorted_keys = np.asarray(self.keys)[order]
+            unique_keys, group_starts = np.unique(sorted_keys, return_index=True)
+            self._rank_index = (unique_keys, order[group_starts])
+        return self._rank_index
+
+    def rank_of_keys(self, keys: np.ndarray) -> np.ndarray:
+        """1-based first-occurrence ranks for packed keys; -1 when absent.
+
+        The rank of a guess is its position in the bank's generation-order
+        stream (rank 1 = the strategy's first guess); a key the stream
+        never produced maps to -1.  Vectorized: one ``searchsorted`` over
+        the lazily built rank index per call.
+        """
+        unique_keys, first_positions = self._ensure_rank_index()
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.uint64))
+        slots = np.searchsorted(unique_keys, keys)
+        slots = np.minimum(slots, unique_keys.size - 1)
+        present = unique_keys[slots] == keys
+        ranks = np.full(keys.shape, -1, dtype=np.int64)
+        ranks[present] = first_positions[slots[present]] + 1
+        return ranks
+
+    def rank_of(self, password: str) -> Optional[int]:
+        """1-based rank of ``password`` in the banked stream, else ``None``.
+
+        Answers the targeted-guessing question "was this password within
+        the top-N ranked guesses, and at what rank?" -- ``rank_of(p) is
+        not None and rank_of(p) <= N``.  Passwords the bank's codec cannot
+        represent are by definition never in the stream (``None``).
+        """
+        if not self.codec.can_encode(password):
+            return None
+        rank = int(self.rank_of_keys(self.codec.pack_passwords([password]))[0])
+        return None if rank < 0 else rank
 
     # ------------------------------------------------------------------
     def verify(self) -> List[str]:

@@ -18,6 +18,8 @@ Every workflow in the library is reachable from the shell::
     python -m repro interpolate --model model.npz jimmy91 123456
     python -m repro conditional --model model.npz "love**"
     python -m repro strength --model model.npz --corpus corpus.txt love12 x9$kQ
+    python -m repro serve --spec "strength?model=model.npz&corpus=corpus.txt" \
+        --spec bank:markov3.bank --socket /tmp/repro.sock
     python -m repro experiments --markdown results.md
 
 ``attack`` and ``sample`` accept any registry spec string
@@ -46,7 +48,14 @@ verify`` inspect and check one, and ``attack --bank path.bank`` replays
 it -- bit-identical to the live-sampled run for fixed ``(seed,
 budgets)`` across worker counts and schedules; see ``docs/bank.md``.
 
-``train``/``sample``/``attack``/``bank build`` accept ``--kernels
+``serve`` runs the strength-audit daemon: warm models behind a
+micro-batching scheduler, NDJSON requests over a local socket (or
+``--once`` for stdin/stdout), rank lookups against guess banks, and a
+``stats`` endpoint; SIGTERM drains in-flight batches and exits 0.  See
+``docs/serve.md`` for the protocol and the determinism contract.
+
+``train``/``sample``/``attack``/``bank build``/``strength``/``serve``
+accept ``--kernels
 auto|numpy|numba|reference`` (default: the ``REPRO_KERNELS`` environment
 variable, else ``auto``) to pick the fused kernel backend the flow/NN hot
 paths run on; guess streams are backend-independent for a fixed seed and
@@ -58,7 +67,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -501,17 +512,63 @@ def cmd_conditional(args) -> int:
 
 
 def cmd_strength(args) -> int:
+    _select_kernels(args)
+    if args.batch < 1:
+        raise SystemExit("--batch must be >= 1")
     model = PassFlow.load(args.model)
     estimator = StrengthEstimator(model)
     if args.corpus:
         estimator.calibrate(_read_corpus(args.corpus, model.alphabet)[:5000])
+    started = time.perf_counter()
+    # the batch-vectorized path: ceil(N/batch) flow evaluations, not N
+    report = estimator.report(args.passwords, batch_size=args.batch)
+    elapsed = time.perf_counter() - started
     headers = ["password", "log_prob"] + (
         ["percentile", "band"] if estimator.calibrated else []
     )
-    rows = [
-        [entry[key] for key in headers] for entry in estimator.report(args.passwords)
-    ]
+    rows = [[entry[key] for key in headers] for entry in report]
     print(format_table(headers, rows))
+    print(
+        f"scored {len(report)} passwords in {elapsed * 1000.0:.1f} ms "
+        f"({elapsed * 1000.0 / len(report):.2f} ms/password, batch {args.batch})"
+    )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """``serve``: the micro-batched strength-audit daemon (docs/serve.md)."""
+    _select_kernels(args)
+    from repro.serve import ScoringServer, ServeApp, ServeConfigError, run_once
+
+    try:
+        app = ServeApp(
+            args.spec,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue,
+            default_deadline_ms=args.deadline_ms,
+            threaded=not args.once,
+        )
+    except ServeConfigError as exc:
+        raise SystemExit(str(exc))
+    if args.once:
+        return run_once(app, sys.stdin, sys.stdout)
+    if (args.socket is None) == (args.port is None):
+        raise SystemExit("pass exactly one of --socket or --port (or use --once)")
+    server = ScoringServer(app, socket_path=args.socket, port=args.port)
+    # SIGTERM = graceful shutdown: stop accepting, drain in-flight
+    # batches, exit 0 -- what a supervisor sends on redeploy
+    signal.signal(signal.SIGTERM, lambda signum, frame: app.request_shutdown())
+    server.start()
+    print(f"serving on {server.address} ({len(args.spec)} spec(s))", flush=True)
+    try:
+        # wake regularly so the main thread sees signal-set shutdowns
+        while not app.wait_for_shutdown(timeout=0.5):
+            pass
+    except KeyboardInterrupt:
+        app.request_shutdown()
+    server.stop()
+    print("drained and stopped", flush=True)
     return 0
 
 
@@ -720,8 +777,67 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("strength", help="estimate password strength with the model")
     p.add_argument("--model", required=True)
     p.add_argument("--corpus", help="reference corpus for percentile calibration")
+    p.add_argument(
+        "--batch",
+        type=int,
+        default=256,
+        help="passwords per flow evaluation, capped at the fixed "
+        "evaluation shape (64); results are bitwise identical to "
+        "scoring one at a time regardless of the value",
+    )
     p.add_argument("passwords", nargs="+")
+    _add_kernels_flag(p)
     p.set_defaults(func=cmd_strength)
+
+    p = sub.add_parser(
+        "serve", help="run the micro-batched strength-scoring daemon"
+    )
+    p.add_argument(
+        "--spec",
+        action="append",
+        required=True,
+        help="service spec, repeatable: "
+        "strength?model=<ckpt.npz>&corpus=<ref.txt>[&name=...] for scoring, "
+        "bank:<artifact dir>[?name=...] for rank lookups",
+    )
+    p.add_argument("--socket", help="Unix-domain socket path to listen on")
+    p.add_argument(
+        "--port", type=int, help="localhost TCP port (0 picks a free one)"
+    )
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="flush the scoring queue at this many passwords",
+    )
+    p.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="flush when the oldest queued request has waited this long",
+    )
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=4096,
+        help="bounded queue capacity in passwords (beyond it requests are "
+        "rejected with a one-line error)",
+    )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline (requests may override; "
+        "expired-in-queue requests are rejected, not scored late)",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="serve NDJSON from stdin to stdout in-process (no socket, "
+        "no threads); exits at EOF or a shutdown request",
+    )
+    _add_kernels_flag(p)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("experiments", help="regenerate every paper table/figure")
     p.add_argument("--markdown", help="write consolidated markdown report here")

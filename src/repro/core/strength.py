@@ -13,6 +13,30 @@ estimation is a single forward pass:
   expected number of guesses before the password is generated,
 * :meth:`StrengthEstimator.score` -- a calibrated 0..4 strength band
   (percentile against a reference corpus, zxcvbn-style bands).
+
+Serving-tier hot path: the scalar methods cost one flow evaluation *per
+password*, which is what a request-per-call service would pay.  The
+``*_batch`` methods (:meth:`StrengthEstimator.log_prob_batch`,
+:meth:`StrengthEstimator.percentile_batch`,
+:meth:`StrengthEstimator.score_batch`) push a whole batch through the
+vectorized encoder and one flow pass per ``batch_size`` chunk instead.
+
+Bitwise determinism (the contract the micro-batching daemon in
+:mod:`repro.serve` is built on): BLAS picks different accumulation
+orders for different matrix shapes, so the *same* password can come back
+with different low bits depending on how many rows share its evaluation.
+The estimator therefore pads **every** flow evaluation -- scalar and
+batched -- to exactly :data:`EVAL_ROWS` rows.  A password's row is then
+always computed at one canonical gemm shape, and its result is bitwise
+identical whether it was scored alone, in a CLI batch, or in whatever
+micro-batch interleaving the daemon happened to flush (per-row results
+are independent of the other rows' contents and positions; the padded
+rows are discarded).
+
+Unencodable passwords (over-length, out-of-alphabet) raise in the scalar
+methods; the batch methods mark them with defined sentinels instead
+(:data:`UNSCORABLE_SCORE` / ``nan`` log-probs), so one bad request in a
+micro-batch cannot take down its neighbors.
 """
 
 from __future__ import annotations
@@ -24,6 +48,20 @@ import numpy as np
 from repro.core.model import PassFlow
 
 BAND_LABELS = ("very weak", "weak", "fair", "strong", "very strong")
+
+#: Fixed row count of every strength evaluation.  Short chunks are padded
+#: up to this shape (repeating a real row) so the flow always runs one
+#: canonical gemm shape -- the mechanism behind the scalar == batched
+#: bitwise guarantee; see the module docstring.  ``batch_size`` arguments
+#: above this value are capped to it.
+EVAL_ROWS = 64
+
+#: Sentinel returned by :meth:`StrengthEstimator.score_batch` for
+#: passwords the model's codec cannot represent (never a valid 0..4 band).
+UNSCORABLE_SCORE = -1
+
+#: Band label paired with :data:`UNSCORABLE_SCORE`.
+UNSCORABLE_LABEL = "unscorable"
 
 
 class StrengthEstimator:
@@ -49,8 +87,16 @@ class StrengthEstimator:
 
     # ------------------------------------------------------------------
     def log_prob(self, password: str) -> float:
-        """Exact log p(password) under the model (at bin centers)."""
-        return float(self.model.log_prob([password])[0])
+        """Exact log p(password) under the model (at bin centers).
+
+        Routed through the same fixed-shape evaluation as the batch path,
+        so the value is bitwise identical to the one a daemon micro-batch
+        would return for this password.
+        """
+        if not self.model.encoder.can_encode(password):
+            # surface the codec's own error, exactly as a direct call would
+            self.model.log_prob([password])
+        return float(self.log_prob_batch([password])[0])
 
     def guess_rank(
         self,
@@ -105,13 +151,137 @@ class StrengthEstimator:
         """Human-readable strength band."""
         return BAND_LABELS[self.score(password)]
 
-    def report(self, passwords: Sequence[str]) -> List[dict]:
-        """Strength summary rows for a batch of passwords."""
+    # ------------------------------------------------------------------
+    # batch-vectorized path (the serving tier's hot path)
+    # ------------------------------------------------------------------
+    def log_prob_batch(
+        self, passwords: Sequence[str], batch_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Exact log p per password in chunked vectorized flow passes.
+
+        Returns an (N,) float64 array bitwise equal to
+        ``[self.log_prob(p) for p in passwords]`` for encodable inputs;
+        unencodable entries (over-length / out-of-alphabet, which the
+        scalar path raises on) come back as ``nan`` sentinels.
+
+        ``batch_size`` bounds the real rows per flow evaluation (capped
+        at :data:`EVAL_ROWS`, the fixed evaluation shape): scoring N
+        passwords makes exactly ``ceil(N_encodable / min(batch_size,
+        EVAL_ROWS))`` flow calls (``None`` = full :data:`EVAL_ROWS`
+        chunks), which is both the memory bound and the call-count seam
+        the CLI/daemon tests pin.  Every call is padded to exactly
+        :data:`EVAL_ROWS` rows, so the returned bits do not depend on
+        the chunking.
+        """
+        passwords = list(passwords)
+        out = np.full(len(passwords), np.nan, dtype=np.float64)
+        if not passwords:
+            return out
+        encodable = [i for i, p in enumerate(passwords) if self.model.encoder.can_encode(p)]
+        if not encodable:
+            return out
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        step = EVAL_ROWS if batch_size is None else min(int(batch_size), EVAL_ROWS)
+        for start in range(0, len(encodable), step):
+            chunk = encodable[start : start + step]
+            rows = [passwords[i] for i in chunk]
+            # pad to the canonical shape: a few wasted flops buy
+            # shape-invariant bits (see EVAL_ROWS)
+            padded = rows + [rows[0]] * (EVAL_ROWS - len(rows))
+            out[chunk] = self.model.log_prob(padded)[: len(rows)]
+        return out
+
+    def _percentiles_from_log_probs(self, log_probs: np.ndarray) -> np.ndarray:
+        """Log-probs -> reference percentiles; ``nan`` passes through."""
+        if not self.calibrated:
+            raise RuntimeError("calibrate() the estimator first")
+        valid = ~np.isnan(log_probs)
+        out = np.full(log_probs.shape, np.nan, dtype=np.float64)
+        weaker = np.searchsorted(self._reference_log_probs, log_probs[valid])
+        out[valid] = 1.0 - weaker / len(self._reference_log_probs)
+        return out
+
+    @staticmethod
+    def _scores_from_percentiles(percentiles: np.ndarray) -> np.ndarray:
+        """Percentiles -> int64 bands; ``nan`` -> :data:`UNSCORABLE_SCORE`."""
+        valid = ~np.isnan(percentiles)
+        out = np.full(percentiles.shape, UNSCORABLE_SCORE, dtype=np.int64)
+        bands = np.array([0.2, 0.5, 0.8, 0.95])
+        out[valid] = np.searchsorted(bands, percentiles[valid])
+        return out
+
+    def percentile_batch(
+        self, passwords: Sequence[str], batch_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Vectorized :meth:`percentile`; ``nan`` for unencodable entries."""
+        return self._percentiles_from_log_probs(
+            self.log_prob_batch(passwords, batch_size=batch_size)
+        )
+
+    def score_batch(
+        self, passwords: Sequence[str], batch_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Vectorized :meth:`score`: (N,) int64 of 0..4 bands.
+
+        Bitwise identical to ``[self.score(p) for p in passwords]`` for
+        encodable inputs; unencodable entries are the
+        :data:`UNSCORABLE_SCORE` sentinel (-1), never an exception.
+        """
+        return self._scores_from_percentiles(
+            self.percentile_batch(passwords, batch_size=batch_size)
+        )
+
+    def evaluate_batch(
+        self, passwords: Sequence[str], batch_size: Optional[int] = None
+    ):
+        """One flow pass, every strength view: ``(log_probs, percentiles,
+        scores)`` arrays, sentinel-aware.
+
+        The serving tier's flush function: computing the three views
+        separately would cost three flow evaluations; this costs one.
+        """
+        log_probs = self.log_prob_batch(passwords, batch_size=batch_size)
+        percentiles = self._percentiles_from_log_probs(log_probs)
+        return log_probs, percentiles, self._scores_from_percentiles(percentiles)
+
+    def labels_from_scores(self, scores: np.ndarray) -> List[str]:
+        """Band labels for a :meth:`score_batch` result (sentinel-aware)."""
+        return [
+            UNSCORABLE_LABEL if score == UNSCORABLE_SCORE else BAND_LABELS[int(score)]
+            for score in np.asarray(scores)
+        ]
+
+    def report(
+        self, passwords: Sequence[str], batch_size: Optional[int] = None
+    ) -> List[dict]:
+        """Strength summary rows for a batch of passwords.
+
+        Runs on the batch-vectorized path (one flow evaluation per
+        ``batch_size`` chunk rather than per password); unencodable
+        passwords get ``None`` log-probs and the ``unscorable`` band.
+        """
+        passwords = list(passwords)
+        percentiles = scores = None
+        if self.calibrated:
+            log_probs, percentiles, scores = self.evaluate_batch(
+                passwords, batch_size=batch_size
+            )
+        else:
+            log_probs = self.log_prob_batch(passwords, batch_size=batch_size)
         rows = []
-        for password in passwords:
-            entry = {"password": password, "log_prob": round(self.log_prob(password), 2)}
+        for i, password in enumerate(passwords):
+            encodable = not np.isnan(log_probs[i])
+            entry = {
+                "password": password,
+                "log_prob": round(float(log_probs[i]), 2) if encodable else None,
+            }
             if self.calibrated:
-                entry["percentile"] = round(self.percentile(password), 3)
-                entry["band"] = self.label(password)
+                entry["percentile"] = (
+                    round(float(percentiles[i]), 3) if encodable else None
+                )
+                entry["band"] = (
+                    BAND_LABELS[int(scores[i])] if encodable else UNSCORABLE_LABEL
+                )
             rows.append(entry)
         return rows

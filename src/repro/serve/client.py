@@ -1,0 +1,69 @@
+"""A minimal NDJSON line client for the scoring daemon.
+
+Used by the test suite's soak clients and the CI smoke check; small
+enough to copy into any tool that wants to talk to the daemon.  One
+socket, blocking request/response; for pipelining, use :meth:`send`
+and :meth:`recv` directly.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional
+
+
+class ServeClient:
+    """Blocking request/response client over a Unix or TCP socket."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        port: Optional[int] = None,
+        host: str = "127.0.0.1",
+        timeout: Optional[float] = 30.0,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError("pass exactly one of socket_path or port")
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(str(socket_path))
+        else:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    def send(self, request: Dict[str, Any]) -> None:
+        """Write one request line (no waiting); enables pipelining."""
+        line = json.dumps(request, sort_keys=True, separators=(",", ":"))
+        self._sock.sendall((line + "\n").encode("utf-8"))
+
+    def recv(self) -> Dict[str, Any]:
+        """Read one response line."""
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        return json.loads(line)
+
+    def request(self, **fields: Any) -> Dict[str, Any]:
+        """One round trip: ``client.request(op="score", password="x")``."""
+        self.send(fields)
+        return self.recv()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

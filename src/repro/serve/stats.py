@@ -1,0 +1,110 @@
+"""Serving-tier observability: batch shapes and request latency.
+
+The daemon's ``stats`` endpoint answers "is micro-batching actually
+happening, and what is it costing callers?" with three views:
+
+* request/batch counters (plus rejections by kind),
+* a batch-size histogram in power-of-two buckets -- a healthy loaded
+  daemon shows mass in the wide buckets, an idle one all ``1``s,
+* request latency percentiles (p50/p99/max) over a sliding window of the
+  most recent completions, measured enqueue -> result.
+
+Thread-safe; recording is O(1) and snapshots copy, so a ``stats`` request
+never blocks the scoring path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict
+
+import numpy as np
+
+#: Latency samples kept for the percentile window.
+WINDOW = 4096
+
+
+def batch_bucket(size: int) -> str:
+    """Histogram bucket label for a flushed batch of ``size`` requests.
+
+    1 and 2 get their own buckets; larger sizes fall into power-of-two
+    ranges (``3-4``, ``5-8``, ``9-16``, ...).
+    """
+    if size <= 2:
+        return str(size)
+    high = 1 << (size - 1).bit_length()
+    return f"{high // 2 + 1}-{high}"
+
+
+class ServeStats:
+    """Mutable counters behind the daemon's ``stats`` endpoint."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._batched_requests = 0
+        self._passwords = 0
+        self._batches = 0
+        self._rejected: Dict[str, int] = {}
+        self._histogram: Dict[str, int] = {}
+        self._latencies = deque(maxlen=WINDOW)
+
+    # ------------------------------------------------------------------
+    def record_batch(self, requests: int, passwords: int, latencies_s) -> None:
+        """One flushed batch: ``requests`` requests totalling ``passwords``
+        passwords, each with its enqueue->completion latency (seconds)."""
+        with self._lock:
+            self._batches += 1
+            self._requests += requests
+            self._batched_requests += requests
+            self._passwords += passwords
+            bucket = batch_bucket(requests)
+            self._histogram[bucket] = self._histogram.get(bucket, 0) + 1
+            for latency in latencies_s:
+                self._latencies.append(float(latency) * 1000.0)
+
+    def record_request(self, latency_s: float) -> None:
+        """One unbatched request (stats/ping/lookup/guess_number)."""
+        with self._lock:
+            self._requests += 1
+            self._latencies.append(float(latency_s) * 1000.0)
+
+    def record_rejection(self, kind: str) -> None:
+        """A request turned away (``deadline`` / ``overload`` / ``protocol``)."""
+        with self._lock:
+            self._rejected[kind] = self._rejected.get(kind, 0) + 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self, queue_depth: int = 0) -> Dict[str, Any]:
+        """The ``stats`` response payload (pure data, JSON-ready)."""
+        with self._lock:
+            latencies = np.array(self._latencies, dtype=np.float64)
+            histogram = dict(sorted(self._histogram.items(), key=_bucket_sort_key))
+            rejected = dict(sorted(self._rejected.items()))
+            requests, passwords, batches = (
+                self._requests, self._passwords, self._batches,
+            )
+            batched_requests = self._batched_requests
+        latency: Dict[str, float] = {}
+        if latencies.size:
+            latency = {
+                "p50_ms": round(float(np.percentile(latencies, 50)), 3),
+                "p99_ms": round(float(np.percentile(latencies, 99)), 3),
+                "max_ms": round(float(latencies.max()), 3),
+            }
+        return {
+            "queue_depth": int(queue_depth),
+            "requests": requests,
+            "passwords": passwords,
+            "batches": batches,
+            "mean_batch_size": round(batched_requests / batches, 2) if batches else 0.0,
+            "batch_size_histogram": histogram,
+            "rejected": rejected,
+            "latency": latency,
+        }
+
+
+def _bucket_sort_key(item):
+    label = item[0]
+    return int(label.partition("-")[0])

@@ -1,0 +1,186 @@
+"""Batch-vectorized strength scoring: bitwise parity with the scalar path.
+
+The property under test is the serving tier's foundation: for any mix of
+passwords (encodable or not), any ``batch_size``, and any kernel backend,
+``score_batch``/``log_prob_batch``/``percentile_batch`` return exactly --
+bit for bit -- what a loop over the scalar methods returns, with defined
+sentinels where the scalar path raises.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.core.strength import (
+    EVAL_ROWS,
+    UNSCORABLE_LABEL,
+    UNSCORABLE_SCORE,
+    StrengthEstimator,
+)
+
+BACKENDS = ["numpy", "reference"] + (["numba"] if kernels.numba_available() else [])
+
+# mixes encodable corpus-alphabet passwords with out-of-alphabet and
+# over-length junk the codec must sentinel out
+password_strategy = st.one_of(
+    st.text(alphabet="abcdefmno129", min_size=1, max_size=10),
+    st.text(alphabet="ÅΩ光", min_size=1, max_size=4),
+    st.text(alphabet="abc", min_size=11, max_size=16),
+)
+
+
+@pytest.fixture(scope="module")
+def estimator(trained_model, corpus):
+    est = StrengthEstimator(trained_model)
+    est.calibrate(corpus[:400])
+    return est
+
+
+class TestBitwiseParity:
+    @given(
+        passwords=st.lists(password_strategy, min_size=1, max_size=12),
+        batch_size=st.one_of(st.none(), st.integers(min_value=1, max_value=128)),
+    )
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_log_prob_batch_matches_scalar_bitwise(
+        self, estimator, passwords, batch_size
+    ):
+        batched = estimator.log_prob_batch(passwords, batch_size=batch_size)
+        for value, password in zip(batched, passwords):
+            if estimator.model.encoder.can_encode(password):
+                assert value == estimator.log_prob(password)  # bitwise
+            else:
+                assert np.isnan(value)
+
+    @given(passwords=st.lists(password_strategy, min_size=1, max_size=10))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_score_and_percentile_match_scalar_bitwise(self, estimator, passwords):
+        scores = estimator.score_batch(passwords)
+        percentiles = estimator.percentile_batch(passwords)
+        for i, password in enumerate(passwords):
+            if estimator.model.encoder.can_encode(password):
+                assert scores[i] == estimator.score(password)
+                assert percentiles[i] == estimator.percentile(password)
+            else:
+                assert scores[i] == UNSCORABLE_SCORE
+                assert np.isnan(percentiles[i])
+
+    def test_chunking_is_bit_invariant(self, estimator, corpus):
+        passwords = corpus[:100]
+        reference = estimator.log_prob_batch(passwords, batch_size=None)
+        for batch_size in (1, 3, 7, 50, 64, 128, 4096):
+            chunked = estimator.log_prob_batch(passwords, batch_size=batch_size)
+            np.testing.assert_array_equal(chunked, reference)
+
+    def test_position_and_neighbors_do_not_change_bits(self, estimator, corpus):
+        target = corpus[0]
+        alone = estimator.log_prob_batch([target])[0]
+        rng = np.random.default_rng(5)
+        for _ in range(4):
+            neighbors = list(rng.choice(corpus[1:200], size=EVAL_ROWS - 1))
+            position = int(rng.integers(0, EVAL_ROWS))
+            batch = neighbors[:position] + [target] + neighbors[position:]
+            assert estimator.log_prob_batch(batch)[position] == alone
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_parity_holds_on_every_backend(self, estimator, corpus, backend):
+        passwords = corpus[:20] + ["ÅΩ", "a" * 30]
+        with kernels.use_backend(backend):
+            batched = estimator.log_prob_batch(passwords)
+            scores = estimator.score_batch(passwords)
+            scalar = [
+                estimator.log_prob(p)
+                if estimator.model.encoder.can_encode(p)
+                else None
+                for p in passwords
+            ]
+        for i, expected in enumerate(scalar):
+            if expected is None:
+                assert np.isnan(batched[i]) and scores[i] == UNSCORABLE_SCORE
+            else:
+                assert batched[i] == expected
+
+    def test_numba_skipped_when_unavailable(self):
+        if not kernels.numba_available():
+            assert "numba" not in BACKENDS
+
+
+class TestSentinels:
+    def test_all_unencodable_batch_is_all_sentinels(self, estimator):
+        passwords = ["Ω" * 3, "x" * 40]
+        assert np.isnan(estimator.log_prob_batch(passwords)).all()
+        assert (estimator.score_batch(passwords) == UNSCORABLE_SCORE).all()
+        assert estimator.labels_from_scores(
+            estimator.score_batch(passwords)
+        ) == [UNSCORABLE_LABEL, UNSCORABLE_LABEL]
+
+    def test_empty_batch(self, estimator):
+        assert estimator.log_prob_batch([]).shape == (0,)
+        assert estimator.score_batch([]).shape == (0,)
+
+    def test_report_marks_unscorable_rows(self, estimator):
+        rows = estimator.report(["abc12", "Ω"])
+        assert rows[0]["log_prob"] is not None and rows[0]["band"] != UNSCORABLE_LABEL
+        assert rows[1]["log_prob"] is None and rows[1]["band"] == UNSCORABLE_LABEL
+
+    def test_bad_batch_size_raises(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.log_prob_batch(["abc"], batch_size=0)
+
+    def test_scalar_path_still_raises_on_unencodable(self, estimator):
+        with pytest.raises((KeyError, ValueError)):
+            estimator.log_prob("Ω")
+
+
+class TestCallCountSeam:
+    """``batch_size`` is the flow-call budget: exactly ceil(N/batch) calls."""
+
+    def count_calls(self, estimator, passwords, batch_size, monkeypatch):
+        calls = []
+        real = estimator.model.log_prob
+
+        def counting(pwds):
+            calls.append(len(pwds))
+            return real(pwds)
+
+        monkeypatch.setattr(estimator.model, "log_prob", counting)
+        estimator.log_prob_batch(passwords, batch_size=batch_size)
+        return calls
+
+    @pytest.mark.parametrize("n, batch_size", [(1, 1), (5, 2), (7, 7), (10, 3), (64, 64)])
+    def test_exactly_ceil_n_over_batch_calls(
+        self, estimator, corpus, monkeypatch, n, batch_size
+    ):
+        calls = self.count_calls(estimator, corpus[:n], batch_size, monkeypatch)
+        assert len(calls) == math.ceil(n / batch_size)
+        # every call is the canonical padded shape
+        assert all(size == EVAL_ROWS for size in calls)
+
+    def test_unencodable_rows_cost_no_flow_calls(
+        self, estimator, corpus, monkeypatch
+    ):
+        passwords = corpus[:3] + ["Ω"] * 5
+        calls = self.count_calls(estimator, passwords, 2, monkeypatch)
+        assert len(calls) == math.ceil(3 / 2)  # only encodable rows chunked
+
+    def test_batch_size_above_eval_rows_is_capped(
+        self, estimator, corpus, monkeypatch
+    ):
+        calls = self.count_calls(estimator, corpus[:130], 4096, monkeypatch)
+        assert len(calls) == math.ceil(130 / EVAL_ROWS)

@@ -1,0 +1,22 @@
+"""Serving-tier fixtures: the session model saved as daemon artifacts."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def serve_artifacts(tmp_path_factory, trained_model, corpus):
+    """(model checkpoint path, reference corpus path) on disk."""
+    tmp = tmp_path_factory.mktemp("serve")
+    model_path = tmp / "model.npz"
+    trained_model.save(model_path)
+    corpus_path = tmp / "reference.txt"
+    corpus_path.write_text("\n".join(corpus[:500]) + "\n")
+    return str(model_path), str(corpus_path)
+
+
+@pytest.fixture(scope="session")
+def strength_spec(serve_artifacts):
+    model_path, corpus_path = serve_artifacts
+    return f"strength?model={model_path}&corpus={corpus_path}&sample=500"

@@ -1,0 +1,188 @@
+"""Micro-batcher scheduling semantics under virtual time (no real sleeps).
+
+Every timing assertion here runs against :class:`FakeClock`: the test
+advances virtual time and pumps the batcher, so flush-on-timeout and
+deadline-expiry behavior is exact and immune to loaded-machine flake.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (
+    BatcherClosed,
+    DeadlineExceeded,
+    FakeClock,
+    MicroBatcher,
+    QueueFull,
+    ServeError,
+)
+
+
+class Harness:
+    """A batcher over a recording flush function."""
+
+    def __init__(self, **kwargs):
+        self.clock = kwargs.pop("clock", FakeClock())
+        self.flushes = []
+        kwargs.setdefault("max_batch", 4)
+        kwargs.setdefault("max_wait_ms", 10.0)
+        kwargs.setdefault("max_queue", 64)
+        self.batcher = MicroBatcher(self._flush, clock=self.clock, **kwargs)
+
+    def _flush(self, passwords):
+        self.flushes.append(list(passwords))
+        return [f"scored:{p}" for p in passwords]
+
+
+class TestFlushOnSize:
+    def test_reaching_max_batch_flushes_without_waiting(self):
+        h = Harness(max_batch=4)
+        tickets = [h.batcher.submit([f"p{i}"]) for i in range(4)]
+        assert h.batcher.pump() == 4  # no time has passed: size trigger
+        assert h.flushes == [["p0", "p1", "p2", "p3"]]
+        assert [t.result(0) for t in tickets] == [
+            [f"scored:p{i}"] for i in range(4)
+        ]
+
+    def test_below_size_and_age_does_not_flush(self):
+        h = Harness(max_batch=4, max_wait_ms=10.0)
+        ticket = h.batcher.submit(["p0"])
+        h.clock.advance(0.005)  # half the wait budget
+        assert h.batcher.pump() == 0
+        assert not ticket.done()
+        assert h.batcher.queue_depth == 1
+
+    def test_requests_are_never_split_across_flushes(self):
+        h = Harness(max_batch=4)
+        big = h.batcher.submit(["a", "b", "c", "d", "e", "f"])  # > max_batch
+        small = h.batcher.submit(["g"])
+        h.batcher.pump()
+        h.clock.advance(0.010)  # the small leftover flushes on its timer
+        h.batcher.pump()
+        # the oversized request forms its own batch; the small one follows
+        assert h.flushes == [["a", "b", "c", "d", "e", "f"], ["g"]]
+        assert big.result(0) == [f"scored:{p}" for p in "abcdef"]
+        assert small.result(0) == ["scored:g"]
+
+
+class TestFlushOnTimeout:
+    def test_oldest_request_age_triggers_flush(self):
+        h = Harness(max_batch=64, max_wait_ms=10.0)
+        ticket = h.batcher.submit(["p0"])
+        h.clock.advance(0.010)  # exactly max_wait
+        assert h.batcher.pump() == 1
+        assert ticket.result(0) == ["scored:p0"]
+
+    def test_later_requests_ride_the_oldest_timer(self):
+        h = Harness(max_batch=64, max_wait_ms=10.0)
+        h.batcher.submit(["old"])
+        h.clock.advance(0.006)
+        h.batcher.submit(["young"])
+        h.clock.advance(0.005)  # old passes 10ms; young is 5ms old
+        assert h.batcher.pump() == 2
+        assert h.flushes == [["old", "young"]]
+
+    def test_next_wakeup_tracks_oldest_flush_point(self):
+        h = Harness(max_batch=64, max_wait_ms=10.0)
+        assert h.batcher._next_wakeup_locked(h.clock.monotonic()) is None
+        h.batcher.submit(["p0"])
+        assert h.batcher._next_wakeup_locked(h.clock.monotonic()) == pytest.approx(0.010)
+        h.clock.advance(0.004)
+        assert h.batcher._next_wakeup_locked(h.clock.monotonic()) == pytest.approx(0.006)
+
+
+class TestDeadlines:
+    def test_expired_request_is_rejected_not_scored(self):
+        h = Harness(max_batch=64, max_wait_ms=50.0)
+        doomed = h.batcher.submit(["late"], deadline_ms=5.0)
+        h.clock.advance(0.005)
+        assert h.batcher.pump() == 1
+        with pytest.raises(DeadlineExceeded):
+            doomed.result(0)
+        assert h.flushes == []  # never reached the model
+        assert h.batcher.stats.snapshot()["rejected"] == {"deadline": 1}
+
+    def test_deadline_wakes_before_flush_timer(self):
+        h = Harness(max_batch=64, max_wait_ms=50.0)
+        h.batcher.submit(["late"], deadline_ms=5.0)
+        assert h.batcher._next_wakeup_locked(h.clock.monotonic()) == pytest.approx(0.005)
+
+    def test_live_requests_survive_a_neighbors_expiry(self):
+        h = Harness(max_batch=64, max_wait_ms=10.0)
+        doomed = h.batcher.submit(["late"], deadline_ms=5.0)
+        alive = h.batcher.submit(["fine"])
+        h.clock.advance(0.005)
+        h.batcher.pump()  # expiry only; flush timer not yet due
+        h.clock.advance(0.005)
+        h.batcher.pump()
+        with pytest.raises(DeadlineExceeded):
+            doomed.result(0)
+        assert alive.result(0) == ["scored:fine"]
+        assert h.flushes == [["fine"]]
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_immediately(self):
+        h = Harness(max_batch=2, max_queue=3)
+        h.batcher.submit(["a", "b", "c"])
+        with pytest.raises(QueueFull):
+            h.batcher.submit(["d"])
+        assert h.batcher.stats.snapshot()["rejected"] == {"overload": 1}
+
+    def test_empty_submit_is_a_caller_error(self):
+        h = Harness()
+        with pytest.raises(ValueError):
+            h.batcher.submit([])
+
+
+class TestShutdown:
+    def test_drain_flushes_everything_queued(self):
+        h = Harness(max_batch=64, max_wait_ms=1000.0)
+        tickets = [h.batcher.submit([f"p{i}"]) for i in range(3)]
+        h.batcher.close(drain=True)
+        assert [t.result(0) for t in tickets] == [[f"scored:p{i}"] for i in range(3)]
+
+    def test_drain_false_fails_pending_tickets(self):
+        h = Harness(max_batch=64, max_wait_ms=1000.0)
+        ticket = h.batcher.submit(["p0"])
+        h.batcher.close(drain=False)
+        with pytest.raises(BatcherClosed):
+            ticket.result(0)
+        assert h.flushes == []
+
+    def test_submit_after_close_is_rejected(self):
+        h = Harness()
+        h.batcher.close()
+        with pytest.raises(BatcherClosed):
+            h.batcher.submit(["p0"])
+
+
+class TestFailureIsolation:
+    def test_poisoned_flush_fails_its_members_not_the_batcher(self):
+        clock = FakeClock()
+
+        def explode(passwords):
+            raise RuntimeError("model on fire")
+
+        batcher = MicroBatcher(explode, max_batch=2, clock=clock)
+        tickets = [batcher.submit(["a"]), batcher.submit(["b"])]
+        batcher.pump()
+        for ticket in tickets:
+            with pytest.raises(ServeError, match="scoring failed"):
+                ticket.result(0)
+        # the batcher itself is still usable
+        assert batcher.submit(["c"]) is not None
+
+
+class TestThreadedLoop:
+    """The real worker loop, still under virtual time (FakeClock.wait jumps)."""
+
+    def test_threaded_flush_and_drain(self):
+        h = Harness(max_batch=64, max_wait_ms=5.0)
+        h.batcher.start()
+        tickets = [h.batcher.submit([f"p{i}"]) for i in range(3)]
+        results = [t.result(timeout=10.0) for t in tickets]
+        assert results == [[f"scored:p{i}"] for i in range(3)]
+        h.batcher.close(drain=True)
+        assert all(p in sum(h.flushes, []) for p in ("p0", "p1", "p2"))

@@ -288,6 +288,75 @@ class TestLatentCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "percentile" in out and "band" in out
+        assert "ms/password" in out  # the per-password timing line
+
+    def test_strength_scores_in_ceil_n_over_batch_flow_calls(
+        self, model_file, corpus_file, capsys, monkeypatch
+    ):
+        """The batch-vectorized seam: N passwords != N flow evaluations."""
+        from repro.core.model import PassFlow
+
+        calls = []
+        real = PassFlow.log_prob
+
+        def counting(self, passwords):
+            calls.append(len(passwords))
+            return real(self, passwords)
+
+        monkeypatch.setattr(PassFlow, "log_prob", counting)
+        passwords = [f"pw{i}" for i in range(5)]
+        code = main(
+            ["strength", "--model", str(model_file), "--corpus", str(corpus_file),
+             "--batch", "2", *passwords]
+        )
+        assert code == 0
+        capsys.readouterr()
+        # 1 calibration pass + ceil(5/2) scoring chunks, nothing per-password
+        assert len(calls) == 1 + 3
+
+    def test_strength_unscorable_password_is_reported_not_fatal(
+        self, model_file, corpus_file, capsys
+    ):
+        code = main(
+            ["strength", "--model", str(model_file), "--corpus", str(corpus_file),
+             "love12", "ÅNGSTRÖM-É"]
+        )
+        assert code == 0
+        assert "unscorable" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_once_mode_scores_from_stdin(self, model_file, corpus_file, capsys, monkeypatch):
+        import io
+        import json
+
+        lines = "\n".join(
+            [
+                json.dumps({"op": "ping"}),
+                json.dumps({"op": "score", "password": "love12", "id": 1}),
+                "not even json",
+            ]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines + "\n"))
+        code = main(
+            ["serve", "--once",
+             "--spec", f"strength?model={model_file}&corpus={corpus_file}"]
+        )
+        assert code == 0
+        responses = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert [r["ok"] for r in responses] == [True, True, False]
+        assert 0 <= responses[1]["score"] <= 4
+
+    def test_bad_spec_is_one_actionable_line(self, tmp_path):
+        with pytest.raises(SystemExit, match="model="):
+            main(["serve", "--once", "--spec", "strength?corpus=x"])
+
+    def test_socket_and_port_are_mutually_required(self, model_file, corpus_file):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(
+                ["serve",
+                 "--spec", f"strength?model={model_file}&corpus={corpus_file}"]
+            )
 
 
 @pytest.fixture(scope="module")
