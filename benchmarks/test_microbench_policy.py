@@ -1,0 +1,69 @@
+"""Micro-benchmark: vectorized policy masking vs the per-string predicate.
+
+The ``policy(<spec>)`` wrapper's pitch is that encoded guess streams are
+filtered without materializing strings: lengths from the PAD structure,
+required classes through a class-bit LUT and one ``bitwise_or``
+reduction.  This module pins that claim against the scalar
+``CompositionPolicy.conforms`` reference on a large index-matrix batch:
+
+* ``test_mask_paths_agree``       -- correctness precondition: the two
+  paths are bitwise identical on the benchmark batch,
+* ``test_vectorized_mask_speedup`` -- acceptance bar: ``mask_indices``
+  >= 3x the decode-then-``conforms`` loop (>= 1.5x under ``CI=true``,
+  the CI-relaxed convention of ``test_microbench_bank.py``).
+
+The policy carries no denylist: deny patterns decode surviving rows on
+both paths, which would blur the comparison the floor is about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import assert_speedup, speedup_floor
+from repro.data.alphabet import default_alphabet
+from repro.data.encoding import PasswordEncoder
+from repro.scenarios import CompositionPolicy
+
+BATCH = 200_000
+POLICY = CompositionPolicy(min_len=6, max_len=10, classes="ld")
+
+
+@pytest.fixture(scope="module")
+def encoded_batch():
+    """A (BATCH, 10) index matrix of random variable-length passwords."""
+    encoder = PasswordEncoder(default_alphabet())
+    rng = np.random.default_rng(42)
+    chars = encoder.alphabet.chars
+    lengths = rng.integers(1, encoder.max_length + 1, size=BATCH)
+    passwords = [
+        "".join(chars[i] for i in rng.integers(0, len(chars), size=n))
+        for n in lengths
+    ]
+    return encoder, encoder.indices_from_strings(passwords)
+
+
+def _scalar_mask(encoder, matrix):
+    decoded = encoder.strings_from_indices(matrix)
+    return np.fromiter(
+        (POLICY.conforms(p) for p in decoded), dtype=bool, count=len(decoded)
+    )
+
+
+def test_mask_paths_agree(encoded_batch):
+    encoder, matrix = encoded_batch
+    np.testing.assert_array_equal(
+        POLICY.mask_indices(matrix, encoder), _scalar_mask(encoder, matrix)
+    )
+
+
+def test_vectorized_mask_speedup(encoded_batch):
+    """Acceptance bar: index-space masking >= 3x the per-string loop."""
+    encoder, matrix = encoded_batch
+    assert_speedup(
+        lambda: _scalar_mask(encoder, matrix),
+        lambda: POLICY.mask_indices(matrix, encoder),
+        floor=speedup_floor(3.0, 1.5),
+        label=f"policy mask over {BATCH:,} encoded guesses",
+    )

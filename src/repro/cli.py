@@ -14,6 +14,10 @@ Every workflow in the library is reachable from the shell::
         --budget 50000 --out markov3.bank
     python -m repro attack --bank markov3.bank --corpus corpus.txt \
         --workers 2 --budgets 1000,10000
+    python -m repro attack --corpus corpus.txt --target-corpus other.txt \
+        --strategy "mangle(markov:3)?rules=leet,append_year" \
+        --policy "min_len=6&classes=ld"
+    python -m repro scenarios --specs markov:3,pcfg
     python -m repro strategies --bankable
     python -m repro interpolate --model model.npz jimmy91 123456
     python -m repro conditional --model model.npz "love**"
@@ -25,7 +29,14 @@ Every workflow in the library is reachable from the shell::
 ``attack`` and ``sample`` accept any registry spec string
 (``repro strategies`` lists the families); the bare names ``static``,
 ``dynamic`` and ``dynamic+gs`` remain as shorthands wired to the
-``--alpha/--sigma/--gamma/--temperature`` flags.
+``--alpha/--sigma/--gamma/--temperature`` flags.  Wrapper specs compose:
+``policy(<spec>)?min_len=8&classes=lud`` filters a stream to a
+composition policy (``attack --policy`` is shorthand and also restricts
+the attacked test set), ``mangle(<spec>)?rules=leet,append_year``
+expands each guess through deterministic mangling rules, and ``attack
+--target-corpus`` attacks a second file's test half with models trained
+on ``--corpus`` -- ``repro scenarios`` enumerates the full matrix; see
+``docs/scenarios.md``.
 
 ``attack --workers N`` shards the guess budgets across N processes
 (deterministic for a fixed seed, worker count and schedule;
@@ -89,6 +100,7 @@ from repro.data.rockyou import load_password_file
 from repro.data.synthetic import SyntheticConfig, SyntheticRockYou
 from repro.eval.reporting import format_table
 from repro.runtime import ParallelAttackEngine, StrategySource
+from repro.scenarios import CompositionPolicy
 from repro.strategies import (
     AttackEngine,
     SpecError,
@@ -97,6 +109,7 @@ from repro.strategies import (
     parse_spec,
     strategy_catalog,
     take,
+    unwrap_spec,
 )
 from repro.utils.logging import enable_console_logging
 from repro.utils.progress import ProgressReporter
@@ -167,6 +180,8 @@ def _emit_attack_report(report, args, budgets: List[int], described: str) -> Non
         payload["schedule"] = args.schedule
         payload["executor"] = getattr(args, "executor", None) or "auto"
         payload["strategy"] = described
+        payload["policy"] = getattr(args, "policy", None)
+        payload["target_corpus"] = getattr(args, "target_corpus", None)
         out = Path(args.report)
         out.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"report written to {out}")
@@ -317,19 +332,39 @@ def _attack_from_bank(args) -> int:
     return 0
 
 
+def _parse_policy(args) -> Optional[CompositionPolicy]:
+    """Resolve ``--policy`` (a bare query like ``min_len=8&classes=ld``)."""
+    if not getattr(args, "policy", None):
+        return None
+    try:
+        return CompositionPolicy.from_query(args.policy)
+    except (SpecError, ValueError) as exc:
+        raise SystemExit(f"--policy: {exc}")
+
+
 def cmd_attack(args) -> int:
     _select_kernels(args)
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
+    policy = _parse_policy(args)
     if args.bank:
+        if policy is not None:
+            raise SystemExit(
+                "--policy does not combine with --bank; replay the artifact "
+                "through the spec grammar instead: "
+                "--strategy 'policy(bank:<path>)?min_len=8'"
+            )
         return _attack_from_bank(args)
     spec = _spec_from_args(args)
+    if policy is not None:
+        spec = policy.wrap(spec)
     try:
         parsed = parse_spec(spec)
+        innermost = unwrap_spec(parsed)
     except SpecError as exc:
         raise SystemExit(str(exc))
     model = PassFlow.load(args.model) if args.model else None
-    if parsed.family == "passflow" and model is None:
+    if innermost.family == "passflow" and model is None:
         raise SystemExit("passflow strategies need --model <checkpoint.npz>")
     alphabet = model.alphabet if model is not None else _alphabet(args.alphabet)
     encoder = (
@@ -338,7 +373,20 @@ def cmd_attack(args) -> int:
     corpus = _read_corpus(args.corpus, alphabet)
     split = int(len(corpus) * 0.5)
     train_half = corpus[:split] or corpus
-    dataset = PasswordDataset(train_half, corpus[split:], encoder)
+    # cross-corpus attacks: train (and clean) against --corpus, target the
+    # test half of --target-corpus — "train on one leak, attack another"
+    if args.target_corpus:
+        target = _read_corpus(args.target_corpus, alphabet)
+        target_split = int(len(target) * 0.5)
+        test_raw = target[target_split:] or target
+    else:
+        test_raw = corpus[split:]
+    dataset = PasswordDataset(
+        train_half,
+        test_raw,
+        encoder,
+        test_filter=policy.conforms if policy else None,
+    )
     test_set = dataset.test_set
     budgets = _parse_budgets(args.budgets)
 
@@ -405,7 +453,7 @@ def cmd_bank_build(args) -> int:
     except SpecError as exc:
         raise SystemExit(str(exc))
     model = PassFlow.load(args.model) if args.model else None
-    if parsed.family == "passflow" and model is None:
+    if unwrap_spec(parsed).family == "passflow" and model is None:
         raise SystemExit("passflow strategies need --model <checkpoint.npz>")
     alphabet = model.alphabet if model is not None else _alphabet(args.alphabet)
     encoder = model.encoder if model is not None else PasswordEncoder(alphabet)
@@ -486,7 +534,59 @@ def cmd_strategies(args) -> int:
     print(
         "\nspec grammar: family[:variant][?key=value&...]   e.g. "
         "passflow:dynamic+gs?alpha=1&sigma=0.12, markov:3, rules?wordlist=300"
+        "\nwrapper form: family(inner)[?key=value&...]      e.g. "
+        "policy(markov:3)?min_len=8&classes=lud, mangle(pcfg)?rules=leet"
     )
+    return 0
+
+
+def cmd_scenarios(args) -> int:
+    """``scenarios``: enumerate the scenario matrix (docs/scenarios.md)."""
+    from repro.data.mangling import DETERMINISTIC_RULES, STOCHASTIC_RULES
+    from repro.eval.harness import CORPUS_VARIANTS
+
+    specs = [s.strip() for s in args.specs.split(",") if s.strip()]
+    # an empty policy entry is the unconstrained column
+    policies = [q.strip() for q in args.policies.split(";")]
+    corpora = [c.strip() for c in args.corpora.split(",") if c.strip()]
+    for name in corpora:
+        if name not in CORPUS_VARIANTS:
+            raise SystemExit(
+                f"unknown corpus variant {name!r} "
+                f"(have: {', '.join(sorted(CORPUS_VARIANTS))})"
+            )
+
+    rows = []
+    for spec in specs:
+        try:
+            base = parse_spec(spec).canonical()
+        except SpecError as exc:
+            raise SystemExit(str(exc))
+        for query in policies:
+            try:
+                policy = CompositionPolicy.from_query(query) if query else None
+            except (SpecError, ValueError) as exc:
+                raise SystemExit(f"policy {query!r}: {exc}")
+            cell_spec = policy.wrap(base) if policy else base
+            for corpus in corpora:
+                rows.append([cell_spec, "default", corpus, query or "-"])
+    print(format_table(["attack spec", "train", "target", "policy"], rows))
+    print(
+        f"\n{len(rows)} cells = {len(specs)} spec(s) x {len(policies)} "
+        f"policy column(s) x {len(corpora)} target corpus(es)"
+    )
+    print("policy grammar: min_len=<n>&max_len=<n>&classes=[luds]+&deny=w1,w2")
+    print(
+        "mangle rules:   deterministic "
+        + ", ".join(DETERMINISTIC_RULES)
+        + " | stochastic "
+        + ", ".join(STOCHASTIC_RULES)
+    )
+    print(
+        "run one cell:   repro attack --corpus train.txt --target-corpus "
+        "other.txt --strategy <spec> --policy '<query>'"
+    )
+    print("run the matrix: python -m repro.eval.experiments.cross_corpus")
     return 0
 
 
@@ -697,6 +797,19 @@ def build_parser() -> argparse.ArgumentParser:
         "strategy (bit-identical to the banked run for fixed seed/budgets; "
         "--model/--strategy are ignored)",
     )
+    p.add_argument(
+        "--policy",
+        help="composition-policy query (min_len=8&max_len=10&classes=lud&"
+        "deny=password,123456); wraps the spec as policy(<spec>) so only "
+        "conformant guesses are emitted, and restricts the attacked test "
+        "set to conformant targets",
+    )
+    p.add_argument(
+        "--target-corpus",
+        help="second password file for a cross-corpus attack: its test half "
+        "becomes the attack targets (cleaned against --corpus's train "
+        "half), while models still train on --corpus",
+    )
     _add_kernels_flag(p)
     p.set_defaults(func=cmd_attack)
 
@@ -757,6 +870,28 @@ def build_parser() -> argparse.ArgumentParser:
         "(usable with `bank build` without --force)",
     )
     p.set_defaults(func=cmd_strategies)
+
+    p = sub.add_parser(
+        "scenarios",
+        help="enumerate the policy x mangling x cross-corpus scenario matrix",
+    )
+    p.add_argument(
+        "--specs",
+        default="markov:3,pcfg",
+        help="comma list of base strategy specs (default: markov:3,pcfg)",
+    )
+    p.add_argument(
+        "--policies",
+        default=";min_len=6&classes=ld",
+        help="semicolon list of policy queries; an empty entry is the "
+        "unconstrained column (default: ';min_len=6&classes=ld')",
+    )
+    p.add_argument(
+        "--corpora",
+        default="default,narrow,digits",
+        help="comma list of target corpus variants (default: all)",
+    )
+    p.set_defaults(func=cmd_scenarios)
 
     p = sub.add_parser("interpolate", help="latent interpolation between two passwords")
     p.add_argument("--model", required=True)

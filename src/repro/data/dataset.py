@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Set, Tuple
+from typing import Callable, Iterator, List, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -72,6 +72,12 @@ class PasswordDataset:
         Raw held-out passwords; cleaned on construction.
     encoder:
         The numeric codec shared by every model in an experiment.
+    test_filter:
+        Optional predicate applied to the *cleaned* test set (e.g. a
+        :meth:`repro.scenarios.policy.CompositionPolicy.conforms` bound
+        method), so match rates under a composition policy are computed
+        against the policy-conformant target slice only.  The training
+        side is never filtered -- models train on the raw corpus.
     """
 
     def __init__(
@@ -79,11 +85,14 @@ class PasswordDataset:
         train: Sequence[str],
         test_raw: Sequence[str],
         encoder: PasswordEncoder,
+        test_filter: Callable[[str], bool] | None = None,
     ) -> None:
         self.encoder = encoder
         self.train = list(train)
         self.test_raw = list(test_raw)
         self.test = clean_test_set(self.test_raw, self.train)
+        if test_filter is not None:
+            self.test = [p for p in self.test if test_filter(p)]
         if not self.train:
             raise ValueError("training set is empty")
         self._train_features: np.ndarray | None = None

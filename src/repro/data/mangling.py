@@ -7,7 +7,7 @@ style rule-based dimension referenced throughout the paper's related work.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -87,6 +87,34 @@ DETERMINISTIC_RULES: Dict[str, Callable[[str], str]] = {
     "reverse": reverse,
     "leet": leet,
 }
+
+#: Rules that draw from an rng; one call produces one variant.  The
+#: ``mangle(<spec>)`` wrapper strategy gives each (rule, word) pair its
+#: own named sub-stream, so variants are chunk-order independent.
+STOCHASTIC_RULES: Dict[str, Callable[[str, np.random.Generator], str]] = {
+    "leet_partial": leet_partial,
+    "append_digits": append_digits,
+    "append_year": append_year,
+    "append_symbol": append_symbol,
+}
+
+#: Every rule name addressable from a ``mangle(...)?rules=`` spec.
+RULE_NAMES: Tuple[str, ...] = tuple(DETERMINISTIC_RULES) + tuple(STOCHASTIC_RULES)
+
+
+def apply_rule(
+    name: str, word: str, rng: Optional[np.random.Generator] = None
+) -> str:
+    """Apply one named rule; stochastic rules require ``rng``."""
+    if name in DETERMINISTIC_RULES:
+        return DETERMINISTIC_RULES[name](word)
+    if name in STOCHASTIC_RULES:
+        if rng is None:
+            raise ValueError(f"rule {name!r} is stochastic and needs an rng")
+        return STOCHASTIC_RULES[name](word, rng)
+    raise KeyError(
+        f"unknown mangling rule {name!r} (known: {', '.join(RULE_NAMES)})"
+    )
 
 
 class RuleEngine:

@@ -4,16 +4,18 @@ Each module exposes ``run(ctx: EvalContext) -> ExperimentResult`` and can be
 executed directly (``python -m repro.eval.experiments.table2``).  The
 mapping to the paper:
 
-========  =====================================================
-Module    Paper artifact
-========  =====================================================
-table2    Table II  -- % matched per method per guess budget
-table3    Table III -- unique + matched counts (latent models)
-table5    Table V   -- neighbourhood samples around "jimmy91"
-table6    Table VI  -- masking-strategy comparison
-fig2      Fig. 2    -- t-SNE projection of latent neighbourhoods
-fig3      Fig. 3    -- latent interpolation jimmy91 -> 123456
-fig4      Fig. 4    -- marginal improvement vs training-set size
-fig5      Fig. 5    -- matches with vs without phi
-========  =====================================================
+============  =====================================================
+Module        Paper artifact
+============  =====================================================
+table2        Table II  -- % matched per method per guess budget
+table3        Table III -- unique + matched counts (latent models)
+table5        Table V   -- neighbourhood samples around "jimmy91"
+table6        Table VI  -- masking-strategy comparison
+fig2          Fig. 2    -- t-SNE projection of latent neighbourhoods
+fig3          Fig. 3    -- latent interpolation jimmy91 -> 123456
+fig4          Fig. 4    -- marginal improvement vs training-set size
+fig5          Fig. 5    -- matches with vs without phi
+cross_corpus  beyond the paper: spec x corpus-pair x policy
+              scenario matrix with transfer deltas (docs/scenarios.md)
+============  =====================================================
 """

@@ -1,0 +1,237 @@
+"""Scenario matrix: spec x corpus-pair x policy cross-corpus attacks.
+
+The paper evaluates in-distribution trawling only; deployed guessing
+models face *transfer*: train on one leak, attack another, often behind a
+composition policy.  This driver runs every cell of a
+(spec, target-corpus, policy) matrix through the shared harness --
+training always happens on the ``default`` corpus, the attacked test
+slice comes from the cell's target corpus variant
+(:data:`repro.eval.harness.CORPUS_VARIANTS`), and the cell's policy
+wraps the spec (``policy(<spec>)?...``) while filtering the test set to
+the conformant slice.
+
+Determinism: the attack RNG label depends on the (spec, policy) pair but
+*not* the target corpus, so every cell of a row attacks with the exact
+same guess stream -- the transfer delta isolates the target-distribution
+shift.  For a fixed (profile seed, spec, policy, workers, schedule,
+executor) the whole report dict is bit-identical across runs and
+executors.
+
+Report schema (``schema`` = ``cross-corpus-matrix/v1``)::
+
+    {
+      "schema": "cross-corpus-matrix/v1",
+      "profile": "tiny", "seed": 7, "budgets": [...],
+      "train_corpus": "default",
+      "corpora": [...], "policies": {name: query-or-null, ...},
+      "cells": [
+        {"label", "base_spec", "spec", "policy", "policy_query",
+         "train_corpus", "target_corpus", "test_size", "rows",
+         "match_percent", "baseline_match_percent", "transfer_delta"},
+        ...
+      ]
+    }
+
+``transfer_delta`` is the cell's final match % minus the same
+(spec, policy) row's in-corpus (``default``-target) match % -- negative
+values are the transfer degradation the scenario measures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.eval.harness import (
+    CORPUS_VARIANTS,
+    DEFAULT_CACHE_DIR,
+    BenchmarkSettings,
+    EvalContext,
+    settings_from_env,
+)
+from repro.eval.reporting import ExperimentResult
+from repro.strategies import parse_spec
+
+SCHEMA = "cross-corpus-matrix/v1"
+
+#: Default matrix axes: corpus-trained baselines (no flow training beyond
+#: the shared dataset encoder), all corpus variants, no-policy vs a
+#: classes+length policy.
+DEFAULT_SPECS: Dict[str, str] = {
+    "markov3": "markov:3",
+    "pcfg": "pcfg",
+}
+DEFAULT_POLICIES: Dict[str, Optional[str]] = {
+    "none": None,
+    "ld6": "min_len=6&classes=ld",
+}
+
+
+def run_matrix(
+    specs: Optional[Mapping[str, str]] = None,
+    corpora: Optional[Sequence[str]] = None,
+    policies: Optional[Mapping[str, Optional[str]]] = None,
+    settings: Optional[BenchmarkSettings] = None,
+    cache_dir: Path | str = DEFAULT_CACHE_DIR,
+    workers: Optional[int] = None,
+    schedule: Optional[str] = None,
+    executor: Optional[str] = None,
+    bank_dir: Optional[Path | str] = None,
+) -> Dict[str, object]:
+    """Run every (spec, target-corpus, policy) cell; return the report dict.
+
+    ``corpora`` lists target-corpus variant names; the ``default``
+    (in-corpus) target is always included -- it is every row's transfer
+    baseline.  All contexts share ``cache_dir``, so the trained encoder
+    model and any guess banks are built once and reused across cells.
+    """
+    specs = dict(specs or DEFAULT_SPECS)
+    policies = dict(policies or DEFAULT_POLICIES)
+    corpora = list(dict.fromkeys(["default", *(corpora or CORPUS_VARIANTS)]))
+    settings = settings or settings_from_env()
+
+    contexts: Dict[tuple, EvalContext] = {}
+    for corpus_name in corpora:
+        for policy_name, query in policies.items():
+            contexts[(corpus_name, policy_name)] = EvalContext(
+                settings,
+                cache_dir=cache_dir,
+                workers=workers,
+                schedule=schedule,
+                executor=executor,
+                bank_dir=bank_dir,
+                target_corpus=None if corpus_name == "default" else corpus_name,
+                policy=query,
+            )
+
+    cells: List[Dict[str, object]] = []
+    for spec_label, spec in specs.items():
+        for policy_name, query in policies.items():
+            baseline_percent: Optional[float] = None
+            for corpus_name in corpora:
+                ctx = contexts[(corpus_name, policy_name)]
+                # the RNG label omits the target corpus on purpose: every
+                # cell of a (spec, policy) row attacks with the same
+                # guess stream, so the delta isolates the target shift
+                report = ctx.run_attack(spec, label=f"xc-{spec_label}-{policy_name}")
+                percent = report.rows[-1].match_percent if report.rows else 0.0
+                if corpus_name == "default":
+                    baseline_percent = percent
+                cells.append(
+                    {
+                        "label": spec_label,
+                        "base_spec": parse_spec(spec).canonical(),
+                        "spec": ctx.scenario_spec(spec),
+                        "policy": policy_name,
+                        "policy_query": query,
+                        "train_corpus": "default",
+                        "target_corpus": corpus_name,
+                        "test_size": report.test_size,
+                        "rows": [row.as_dict() for row in report.rows],
+                        "match_percent": percent,
+                        "baseline_match_percent": baseline_percent,
+                        "transfer_delta": percent - baseline_percent,
+                    }
+                )
+
+    return {
+        "schema": SCHEMA,
+        "profile": settings.name,
+        "seed": settings.seed,
+        "budgets": list(settings.budgets),
+        "train_corpus": "default",
+        "corpora": corpora,
+        "policies": policies,
+        "cells": cells,
+    }
+
+
+def result_table(report: Mapping[str, object]) -> ExperimentResult:
+    """Render a :func:`run_matrix` report as an :class:`ExperimentResult`."""
+    rows = [
+        [
+            cell["label"],
+            cell["policy"],
+            cell["target_corpus"],
+            cell["test_size"],
+            round(cell["match_percent"], 2),
+            round(cell["baseline_match_percent"], 2),
+            round(cell["transfer_delta"], 2),
+        ]
+        for cell in report["cells"]
+    ]
+    return ExperimentResult(
+        name="Cross-corpus scenario matrix",
+        headers=[
+            "Method",
+            "Policy",
+            "Target",
+            "Targets",
+            "Match %",
+            "In-corpus %",
+            "Transfer Δ",
+        ],
+        rows=rows,
+        notes={"schema": report["schema"], "profile": report["profile"]},
+    )
+
+
+def run(ctx: EvalContext) -> ExperimentResult:
+    """Driver-convention entry point: the default matrix at ``ctx``'s scale."""
+    report = run_matrix(
+        settings=ctx.settings,
+        cache_dir=ctx.cache_dir,
+        workers=ctx.workers,
+        schedule=ctx.schedule,
+        executor=ctx.executor,
+        bank_dir=ctx.bank_dir,
+    )
+    return result_table(report)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="cross-corpus scenario matrix")
+    parser.add_argument(
+        "--spec",
+        action="append",
+        metavar="LABEL=SPEC",
+        help="matrix row, repeatable (default: markov3=markov:3, pcfg=pcfg)",
+    )
+    parser.add_argument(
+        "--corpora",
+        help=f"comma list of target corpus variants (default: all of "
+        f"{sorted(CORPUS_VARIANTS)})",
+    )
+    parser.add_argument(
+        "--policy",
+        action="append",
+        metavar="NAME=QUERY",
+        help="policy column, repeatable; empty query = unconstrained "
+        "(default: none= and ld6=min_len=6&classes=ld)",
+    )
+    parser.add_argument("--json", help="write the full report dict here")
+    args = parser.parse_args(argv)
+
+    specs = None
+    if args.spec:
+        specs = dict(item.split("=", 1) for item in args.spec)
+    policies = None
+    if args.policy:
+        policies = {
+            name: (query or None)
+            for name, query in (item.split("=", 1) for item in args.policy)
+        }
+    corpora = args.corpora.split(",") if args.corpora else None
+
+    report = run_matrix(specs=specs, corpora=corpora, policies=policies)
+    print(result_table(report))
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

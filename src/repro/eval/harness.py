@@ -50,7 +50,8 @@ from repro.data.dataset import PasswordDataset
 from repro.data.encoding import PasswordEncoder
 from repro.data.synthetic import SyntheticConfig, SyntheticRockYou
 from repro.runtime import ParallelAttackEngine, StrategySource
-from repro.strategies import AttackEngine, GuessingStrategy, parse_spec
+from repro.scenarios import CompositionPolicy
+from repro.strategies import AttackEngine, GuessingStrategy, parse_spec, unwrap_spec
 from repro.utils.logging import get_logger
 from repro.utils.rng import spawn_rng
 
@@ -136,6 +137,20 @@ PROFILES: Dict[str, BenchmarkSettings] = {
 }
 
 
+#: Named synthetic-corpus variants for cross-corpus experiments: the same
+#: generator with shifted composition statistics stands in for "a
+#: different leak" (different base-word vocabulary, different suffix
+#: habits).  ``default`` is the in-corpus baseline every other pair's
+#: transfer delta is measured against; each variant draws from its own
+#: named RNG stream (``spawn_rng(seed, "corpus-<name>")``), so adding
+#: variants never perturbs the default corpus bytes.
+CORPUS_VARIANTS: Dict[str, SyntheticConfig] = {
+    "default": SyntheticConfig(vocabulary_size=30, max_suffix_digits=2),
+    "narrow": SyntheticConfig(vocabulary_size=18, max_suffix_digits=2),
+    "digits": SyntheticConfig(vocabulary_size=30, max_suffix_digits=4),
+}
+
+
 def settings_from_env(default: str = "quick") -> BenchmarkSettings:
     """Resolve the profile from ``REPRO_BENCH_PROFILE``."""
     name = os.environ.get("REPRO_BENCH_PROFILE", default)
@@ -164,6 +179,8 @@ class EvalContext:
         schedule: Optional[str] = None,
         executor: Optional[str] = None,
         bank_dir: Optional[Path | str] = None,
+        target_corpus: Optional[str] = None,
+        policy: Optional[CompositionPolicy | str] = None,
     ) -> None:
         self.settings = settings or settings_from_env()
         self.cache_dir = Path(cache_dir)
@@ -214,7 +231,23 @@ class EvalContext:
         if bank_dir is None:
             bank_dir = os.environ.get(BANK_DIR_ENV) or None
         self.bank_dir = Path(bank_dir) if bank_dir is not None else None
+        # cross-corpus seam: train on the default corpus, attack the
+        # named variant's test slice ("train on one leak, attack
+        # another"); None keeps the in-corpus evaluation
+        if target_corpus is not None and target_corpus not in CORPUS_VARIANTS:
+            raise ValueError(
+                f"unknown target corpus {target_corpus!r}; "
+                f"options: {sorted(CORPUS_VARIANTS)}"
+            )
+        self.target_corpus = target_corpus
+        # composition-policy seam: run_attack wraps every spec as
+        # policy(<spec>)?... and the test set keeps only conformant
+        # targets, so match rates model a policy-enforcing deployment
+        if isinstance(policy, str):
+            policy = CompositionPolicy.from_query(policy)
+        self.policy = policy
         self._corpus: Optional[List[str]] = None
+        self._corpora: Dict[str, List[str]] = {}
         self._dataset: Optional[PasswordDataset] = None
         self._passflow: Dict[str, PassFlow] = {}
         self._passgan: Optional[PassGAN] = None
@@ -227,7 +260,7 @@ class EvalContext:
     # ------------------------------------------------------------------
     def synthetic_config(self) -> SyntheticConfig:
         """Tightened generator config (see DESIGN.md scaling notes)."""
-        return SyntheticConfig(vocabulary_size=30, max_suffix_digits=2)
+        return CORPUS_VARIANTS["default"]
 
     @property
     def corpus(self) -> List[str]:
@@ -237,16 +270,48 @@ class EvalContext:
             self._corpus = generator.generate(self.settings.corpus_size)
         return self._corpus
 
+    def corpus_variant(self, name: Optional[str]) -> List[str]:
+        """A named corpus variant (``None``/``"default"`` = the corpus).
+
+        Variants draw from their own ``spawn_rng(seed, "corpus-<name>")``
+        stream, so the default corpus -- and with it every seed-era
+        report -- stays byte-identical no matter which variants exist.
+        """
+        if name in (None, "default"):
+            return self.corpus
+        if name not in CORPUS_VARIANTS:
+            raise ValueError(
+                f"unknown corpus variant {name!r}; options: {sorted(CORPUS_VARIANTS)}"
+            )
+        if name not in self._corpora:
+            rng = spawn_rng(self.settings.seed, f"corpus-{name}")
+            generator = SyntheticRockYou(rng, CORPUS_VARIANTS[name], self.alphabet)
+            self._corpora[name] = generator.generate(self.settings.corpus_size)
+        return self._corpora[name]
+
     @property
     def dataset(self) -> PasswordDataset:
-        """Train subset + cleaned test set shared by every experiment."""
+        """Train subset + cleaned test set shared by every experiment.
+
+        With ``target_corpus`` set, the test slice comes from the target
+        corpus variant while training (and test-set cleaning) stays on
+        the training corpus: generalization is measured across the
+        distribution shift, and a password leaked in both corpora is
+        still a fair target as long as the *model* never saw it.
+        """
         if self._dataset is None:
             s = self.settings
             corpus = self.corpus
             train = corpus[: s.train_size]
-            test_raw = corpus[len(corpus) - s.test_size :]
+            target = self.corpus_variant(self.target_corpus)
+            test_raw = target[len(target) - s.test_size :]
             model = self.passflow()  # ensures encoder settings match
-            self._dataset = PasswordDataset(train, test_raw, model.encoder)
+            self._dataset = PasswordDataset(
+                train,
+                test_raw,
+                model.encoder,
+                test_filter=self.policy.conforms if self.policy else None,
+            )
         return self._dataset
 
     @property
@@ -371,8 +436,12 @@ class EvalContext:
         return AttackEngine(self.test_set, self.settings.guess_budgets)
 
     def resolve_model(self, spec: str):
-        """The cached artifact a spec resolves against (None for fit-on-demand)."""
-        parsed = parse_spec(spec)
+        """The cached artifact a spec resolves against (None for fit-on-demand).
+
+        Wrapper specs (``policy(...)``/``mangle(...)``) resolve against
+        their innermost spec's artifact.
+        """
+        parsed = unwrap_spec(spec)
         if parsed.family == "passflow":
             return self.passflow()
         if parsed.family == "passgan":
@@ -384,6 +453,21 @@ class EvalContext:
         if parsed.family == "pcfg":
             return self.pcfg()
         return None
+
+    def scenario_spec(self, spec: str) -> str:
+        """The spec :meth:`run_attack` actually streams.
+
+        With a context ``policy`` set, plain specs are wrapped as
+        ``policy(<spec>)?...`` so the guess stream is pre-image filtered
+        to the same slice the test set was; specs already policy-wrapped
+        pass through untouched.
+        """
+        if self.policy is None:
+            return spec
+        parsed = parse_spec(spec)
+        if parsed.family == "policy":
+            return parsed.canonical()
+        return self.policy.wrap(spec)
 
     def strategy(self, spec: str, model=None) -> GuessingStrategy:
         """Build a strategy spec using this context's trained artifacts.
@@ -498,6 +582,7 @@ class EvalContext:
         """
         workers = self.workers if workers is None else workers
         schedule = self.schedule if schedule is None else schedule
+        spec = self.scenario_spec(spec)
         source = self.strategy_source(spec, model=model)
         if self.bank_dir is not None:
             report = self._run_banked(spec, label, method, source, workers, schedule)

@@ -1,0 +1,29 @@
+"""Attack scenarios: composition policies, mangling hybrids, cross-corpus.
+
+The paper evaluates PassFlow on in-distribution trawling attacks; this
+package models the deployment scenarios around that baseline as *wrapper
+strategy families* composed through the registry's ``family(inner)``
+grammar, so every scenario inherits sharding, elastic scheduling, bank
+replay and the determinism contract from the layers below:
+
+* ``policy(<spec>)`` -- :mod:`repro.scenarios.policy`: pre-image
+  filtering of a guess stream against a :class:`CompositionPolicy`
+  (min/max length, required character classes, denylist), vectorized over
+  encoded index-matrix batches;
+* ``mangle(<spec>)`` -- :mod:`repro.scenarios.mangle`: HashCat-style
+  rule expansion of each inner guess through deterministic per-word
+  ``spawn_rng`` sub-streams.
+
+Cross-corpus attacks (train on one corpus, attack another) live in the
+eval layer: ``EvalContext(target_corpus=...)`` and
+:mod:`repro.eval.experiments.cross_corpus`.  See ``docs/scenarios.md``.
+"""
+
+from repro.scenarios.policy import CompositionPolicy, PolicyFilterStrategy
+from repro.scenarios.mangle import MangleStrategy
+
+__all__ = [
+    "CompositionPolicy",
+    "MangleStrategy",
+    "PolicyFilterStrategy",
+]

@@ -35,6 +35,7 @@ from repro.strategies.registry import (
     parse_spec,
     register,
     strategy_catalog,
+    unwrap_spec,
 )
 
 # importing the implementation modules populates the registry
@@ -45,6 +46,11 @@ from repro.strategies.passflow import (  # noqa: E402
 )
 from repro.strategies.baselines import SampledModelStrategy  # noqa: E402
 from repro.bank.replay import BankReplayStrategy  # noqa: E402
+from repro.scenarios import (  # noqa: E402
+    CompositionPolicy,
+    MangleStrategy,
+    PolicyFilterStrategy,
+)
 
 __all__ = [
     "AttackContext",
@@ -52,10 +58,13 @@ __all__ = [
     "AttackState",
     "BankReplayStrategy",
     "BuildResources",
+    "CompositionPolicy",
     "ConditionalStrategy",
     "DynamicStrategy",
     "GuessBatch",
     "GuessingStrategy",
+    "MangleStrategy",
+    "PolicyFilterStrategy",
     "SampledModelStrategy",
     "SpecError",
     "StaticStrategy",
@@ -67,4 +76,5 @@ __all__ = [
     "register",
     "strategy_catalog",
     "take",
+    "unwrap_spec",
 ]

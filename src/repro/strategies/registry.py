@@ -3,6 +3,7 @@
 Spec grammar (URL-query flavored, config/CLI/service friendly)::
 
     family[:variant][?key=value&key=value...]
+    family(inner-spec)[?key=value&key=value...]     -- wrapper families
 
     passflow:dynamic+gs?alpha=1&sigma=0.12
     passflow:static?temperature=0.75
@@ -12,6 +13,14 @@ Spec grammar (URL-query flavored, config/CLI/service friendly)::
     rules?wordlist=300
     passgan?iterations=300
     cwae
+    policy(passflow:dynamic)?min_len=8&classes=lud
+    mangle(markov:3)?rules=leet,append_year&variants=2
+
+Wrapper families (the scenario layer, :mod:`repro.scenarios`) take the
+spec they wrap in parentheses instead of a variant; the inner spec is any
+spec of this grammar, wrappers included, and is canonicalized
+recursively.  Literal ``(``/``)`` inside parameter values are
+percent-escaped like the other structural characters.
 
 ``build(spec, ...)`` resolves the family against the registry and hands the
 parsed spec plus a :class:`BuildResources` bundle (trained model, training
@@ -51,6 +60,10 @@ class StrategySpec:
     family: str
     variant: Optional[str] = None
     params: Tuple[Tuple[str, ParamValue], ...] = ()
+    #: For wrapper specs (``policy(markov:3)``): the canonicalized inner
+    #: spec string.  ``None`` for plain specs; mutually exclusive with
+    #: ``variant``.
+    inner: Optional[str] = None
 
     @property
     def param_dict(self) -> Dict[str, ParamValue]:
@@ -58,7 +71,7 @@ class StrategySpec:
 
     def canonical(self) -> str:
         """Re-emit the canonical string form (sorted parameter keys)."""
-        return format_spec(self.family, self.variant, self.param_dict)
+        return format_spec(self.family, self.variant, self.param_dict, self.inner)
 
 
 def _parse_value(text: str) -> ParamValue:
@@ -83,9 +96,10 @@ def _parse_value(text: str) -> ParamValue:
     return text
 
 
-#: Characters with structural meaning inside a query; percent-escaped in
-#: string values so e.g. a conditional template containing ``&`` survives.
-_ESCAPES = {"%": "%25", "&": "%26", "=": "%3D"}
+#: Characters with structural meaning inside a query or a wrapper form;
+#: percent-escaped in string values so e.g. a conditional template
+#: containing ``&`` (or a denylist pattern containing ``(``) survives.
+_ESCAPES = {"%": "%25", "&": "%26", "=": "%3D", "(": "%28", ")": "%29"}
 
 
 def _escape_text(text: str) -> str:
@@ -121,35 +135,80 @@ def parse_bool(value: ParamValue) -> bool:
     raise ValueError(f"expected true/false, got {value!r}")
 
 
+def _parse_query(query: str, spec: str) -> Dict[str, ParamValue]:
+    """Parse a ``k=v&...`` query tail into a parameter dict."""
+    params: Dict[str, ParamValue] = {}
+    for pair in query.split("&"):
+        if not pair:
+            continue
+        key, sep, value = pair.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise SpecError(f"malformed parameter {pair!r} in spec {spec!r}")
+        if key in params:
+            raise SpecError(f"duplicate parameter {key!r} in spec {spec!r}")
+        parsed_value = _parse_value(value.strip())
+        if isinstance(parsed_value, str):
+            parsed_value = _unescape_text(parsed_value)
+        params[key] = parsed_value
+    return params
+
+
 def parse_spec(spec: str) -> StrategySpec:
-    """Parse ``family[:variant][?k=v&...]`` into a :class:`StrategySpec`."""
+    """Parse ``family[:variant][?k=v&...]`` or the wrapper form
+    ``family(inner)[?k=v&...]`` into a :class:`StrategySpec`."""
     if not isinstance(spec, str) or not spec.strip():
         raise SpecError("spec must be a non-empty string")
     spec = spec.strip()
-    head, _, query = spec.partition("?")
-    family, _, variant = head.partition(":")
-    family = family.strip().lower()
-    if not family:
-        raise SpecError(f"spec {spec!r} has no strategy family")
-    params: Dict[str, ParamValue] = {}
-    if query:
-        for pair in query.split("&"):
-            if not pair:
-                continue
-            key, sep, value = pair.partition("=")
-            key = key.strip()
-            if not sep or not key:
-                raise SpecError(f"malformed parameter {pair!r} in spec {spec!r}")
-            if key in params:
-                raise SpecError(f"duplicate parameter {key!r} in spec {spec!r}")
-            parsed_value = _parse_value(value.strip())
-            if isinstance(parsed_value, str):
-                parsed_value = _unescape_text(parsed_value)
-            params[key] = parsed_value
+    paren = spec.find("(")
+    question = spec.find("?")
+    inner: Optional[str] = None
+    variant: Optional[str] = None
+    if paren != -1 and (question == -1 or paren < question):
+        # wrapper form: the opening paren appears before any query
+        depth = 0
+        close = -1
+        for pos in range(paren, len(spec)):
+            if spec[pos] == "(":
+                depth += 1
+            elif spec[pos] == ")":
+                depth -= 1
+                if depth == 0:
+                    close = pos
+                    break
+        if close == -1:
+            raise SpecError(f"unbalanced parentheses in spec {spec!r}")
+        family = spec[:paren].strip().lower()
+        if not family:
+            raise SpecError(f"spec {spec!r} has no strategy family")
+        if ":" in family:
+            raise SpecError(
+                f"wrapper spec {spec!r} cannot take a variant; use ?key=value "
+                "parameters"
+            )
+        raw_inner = spec[paren + 1 : close].strip()
+        if not raw_inner:
+            raise SpecError(f"wrapper spec {spec!r} has an empty inner spec")
+        inner = parse_spec(raw_inner).canonical()
+        rest = spec[close + 1 :]
+        if rest and not rest.startswith("?"):
+            raise SpecError(
+                f"unexpected text {rest!r} after the wrapped spec in {spec!r}"
+            )
+        query = rest[1:]
+    else:
+        head, _, query = spec.partition("?")
+        family, _, variant_text = head.partition(":")
+        family = family.strip().lower()
+        if not family:
+            raise SpecError(f"spec {spec!r} has no strategy family")
+        variant = variant_text.strip() or None
+    params = _parse_query(query, spec) if query else {}
     return StrategySpec(
         family=family,
-        variant=variant.strip() or None,
+        variant=variant,
         params=tuple(sorted(params.items())),
+        inner=inner,
     )
 
 
@@ -157,10 +216,15 @@ def format_spec(
     family: str,
     variant: Optional[str] = None,
     params: Optional[Mapping[str, ParamValue]] = None,
+    inner: Optional[str] = None,
 ) -> str:
     """The canonical string form of a spec (sorted parameter keys)."""
+    if inner is not None and variant:
+        raise SpecError("a wrapper spec cannot carry a variant")
     out = family
-    if variant:
+    if inner is not None:
+        out += f"({inner})"
+    elif variant:
         out += f":{variant}"
     if params:
         query = "&".join(
@@ -169,6 +233,19 @@ def format_spec(
         if query:
             out += f"?{query}"
     return out
+
+
+def unwrap_spec(spec) -> StrategySpec:
+    """The innermost (non-wrapper) spec of a possibly-wrapped spec.
+
+    ``unwrap_spec("policy(mangle(passflow:static))?min_len=8")`` resolves
+    to the parsed ``passflow:static`` spec -- what callers inspect to
+    decide which trained artifact a spec ultimately needs.
+    """
+    parsed = spec if isinstance(spec, StrategySpec) else parse_spec(spec)
+    while parsed.inner is not None:
+        parsed = parse_spec(parsed.inner)
+    return parsed
 
 
 # ----------------------------------------------------------------------
@@ -225,7 +302,9 @@ class ParamReader:
 
     def canonical(self) -> str:
         """Canonical spec covering exactly the parameters consumed."""
-        return format_spec(self.spec.family, self.spec.variant, self.used)
+        return format_spec(
+            self.spec.family, self.spec.variant, self.used, self.spec.inner
+        )
 
 
 # ----------------------------------------------------------------------

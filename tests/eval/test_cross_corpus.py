@@ -1,0 +1,179 @@
+"""Cross-corpus seam: corpus variants, dataset wiring, matrix driver.
+
+Covers the harness-side contracts the scenario matrix stands on:
+
+* corpus variants are deterministic per name and never perturb the
+  default corpus bytes (seed-era reports stay byte-identical);
+* the test slice comes from the *target* corpus while cleaning runs
+  against the *training* corpus only;
+* model caches are keyed train-side only, so every (target, policy)
+  context shares one set of trained artifacts;
+* ``run_matrix`` emits the documented schema with exact transfer-delta
+  arithmetic, deterministically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.dataset import clean_test_set
+from repro.eval.experiments.cross_corpus import SCHEMA, result_table, run_matrix
+from repro.eval.harness import CORPUS_VARIANTS, PROFILES, EvalContext
+
+
+@pytest.fixture
+def tiny():
+    return PROFILES["tiny"]
+
+
+class TestCorpusVariants:
+    def test_variants_are_deterministic_per_name(self, tiny, tmp_path):
+        a = EvalContext(tiny, cache_dir=tmp_path)
+        b = EvalContext(tiny, cache_dir=tmp_path)
+        for name in CORPUS_VARIANTS:
+            assert a.corpus_variant(name) == b.corpus_variant(name)
+
+    def test_default_variant_is_the_corpus(self, tiny, tmp_path):
+        ctx = EvalContext(tiny, cache_dir=tmp_path)
+        assert ctx.corpus_variant(None) is ctx.corpus
+        assert ctx.corpus_variant("default") is ctx.corpus
+
+    def test_target_corpus_never_perturbs_the_default(self, tiny, tmp_path):
+        """Adding variants must not shift the default corpus stream."""
+        plain = EvalContext(tiny, cache_dir=tmp_path)
+        targeted = EvalContext(tiny, cache_dir=tmp_path, target_corpus="narrow")
+        assert targeted.corpus == plain.corpus
+
+    def test_variants_actually_differ(self, tiny, tmp_path):
+        ctx = EvalContext(tiny, cache_dir=tmp_path)
+        assert ctx.corpus_variant("narrow") != ctx.corpus
+        assert ctx.corpus_variant("digits") != ctx.corpus
+
+    def test_unknown_variant_rejected(self, tiny, tmp_path):
+        ctx = EvalContext(tiny, cache_dir=tmp_path)
+        with pytest.raises(ValueError, match="unknown corpus variant"):
+            ctx.corpus_variant("mystery")
+        with pytest.raises(ValueError, match="unknown target corpus"):
+            EvalContext(tiny, cache_dir=tmp_path, target_corpus="mystery")
+
+
+class TestCrossCorpusDataset:
+    def test_test_slice_comes_from_target_corpus(self, tiny, tmp_path):
+        ctx = EvalContext(tiny, cache_dir=tmp_path, target_corpus="digits")
+        target = ctx.corpus_variant("digits")
+        expected_raw = target[len(target) - tiny.test_size :]
+        assert ctx.dataset.test_raw == expected_raw
+
+    def test_cleaning_runs_against_training_corpus_only(self, tiny, tmp_path):
+        """A password leaked in the target's own head stays a fair target."""
+        ctx = EvalContext(tiny, cache_dir=tmp_path, target_corpus="digits")
+        train = ctx.corpus[: tiny.train_size]
+        target = ctx.corpus_variant("digits")
+        expected = clean_test_set(ctx.dataset.test_raw, train)
+        assert ctx.dataset.test == expected
+        # the discriminating case: passwords appearing in the *target*
+        # corpus head (its would-be train side) but not in the actual
+        # training corpus must survive cleaning
+        target_head = set(target[: tiny.train_size]) - set(train)
+        kept = [p for p in ctx.dataset.test if p in target_head]
+        assert kept, "expected at least one target-head-only test password"
+
+    def test_model_cache_is_keyed_train_side_only(self, tiny, tmp_path):
+        """All (target, policy) contexts share one trained-model cache."""
+        plain = EvalContext(tiny, cache_dir=tmp_path)
+        crossed = EvalContext(
+            tiny,
+            cache_dir=tmp_path,
+            target_corpus="digits",
+            policy="min_len=6&classes=ld",
+        )
+        role = "passflow-char-run-1"
+        assert plain._cache_path(role) == crossed._cache_path(role)
+        plain.passflow()
+        assert plain._cache_path(role).exists()
+        # the crossed context must load, not retrain: identical weights
+        a = plain.passflow()
+        b = crossed.passflow()
+        assert a.config.seed == b.config.seed
+        assert ctx_logp(a) == ctx_logp(b)
+
+    def test_policy_filters_the_test_set(self, tiny, tmp_path):
+        ctx = EvalContext(
+            tiny, cache_dir=tmp_path, policy="min_len=6&classes=ld"
+        )
+        assert ctx.dataset.test
+        assert all(ctx.policy.conforms(p) for p in ctx.dataset.test)
+
+
+def ctx_logp(model) -> float:
+    """A cheap weight fingerprint: log-prob of a fixed password."""
+    return float(model.log_prob(["monkey12"])[0])
+
+
+class TestRunMatrix:
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        cache = tmp_path_factory.mktemp("xc-cache")
+        kwargs = dict(
+            specs={"markov3": "markov:3"},
+            corpora=["digits"],
+            policies={"none": None, "ld6": "min_len=6&classes=ld"},
+            settings=PROFILES["tiny"],
+            cache_dir=cache,
+        )
+        return run_matrix(**kwargs), run_matrix(**kwargs)
+
+    def test_schema_and_cell_keys(self, report):
+        first, _ = report
+        assert first["schema"] == SCHEMA
+        assert first["train_corpus"] == "default"
+        assert first["corpora"] == ["default", "digits"]
+        assert len(first["cells"]) == 4  # 1 spec x 2 policies x 2 targets
+        for cell in first["cells"]:
+            assert cell.keys() >= {
+                "label",
+                "base_spec",
+                "spec",
+                "policy",
+                "policy_query",
+                "train_corpus",
+                "target_corpus",
+                "test_size",
+                "rows",
+                "match_percent",
+                "baseline_match_percent",
+                "transfer_delta",
+            }
+            assert cell["rows"], "every cell carries its per-budget rows"
+
+    def test_transfer_delta_arithmetic(self, report):
+        first, _ = report
+        baselines = {
+            (cell["label"], cell["policy"]): cell["match_percent"]
+            for cell in first["cells"]
+            if cell["target_corpus"] == "default"
+        }
+        for cell in first["cells"]:
+            base = baselines[(cell["label"], cell["policy"])]
+            assert cell["baseline_match_percent"] == base
+            assert cell["transfer_delta"] == cell["match_percent"] - base
+            if cell["target_corpus"] == "default":
+                assert cell["transfer_delta"] == 0.0
+
+    def test_policy_cells_wrap_the_spec(self, report):
+        first, _ = report
+        for cell in first["cells"]:
+            if cell["policy"] == "ld6":
+                assert cell["spec"].startswith("policy(markov:3)")
+            else:
+                assert cell["spec"] == cell["base_spec"] == "markov:3"
+
+    def test_matrix_is_deterministic(self, report):
+        first, second = report
+        assert first == second
+
+    def test_result_table_covers_every_cell(self, report):
+        first, _ = report
+        table = result_table(first)
+        assert len(table.rows) == len(first["cells"])
+        assert table.notes["schema"] == SCHEMA

@@ -1,0 +1,9 @@
+"""Scenario-suite conftest: registers the test strategy families.
+
+Importing :mod:`scenario_enum` is what registers ``enum`` and
+``encodedenum``; keeping the classes in a plain module (pytest puts this
+directory on ``sys.path``) lets test files import the vocabulary and
+reference functions directly.
+"""
+
+import scenario_enum  # noqa: F401  (import registers the families)

@@ -1,0 +1,119 @@
+"""Deterministic enumerator strategies for the scenario test suite.
+
+Two registry-buildable families back the policy/mangle property tests.
+The suite's ``conftest.py`` imports this module once per session, which
+registers the families, so spec strings cross the process-pool fork
+boundary exactly like real strategies.  Family names are distinct from
+the runtime suite's (``sequence`` et al.) because the registry rejects
+re-registration.
+
+* ``enum`` -- a position-deterministic enumerator over a fixed
+  mixed-class vocabulary: guess ``n`` is ``VOCAB[n % V]`` suffixed with
+  ``n`` and clipped to the codec length.  The stream covers every
+  character class and a range of lengths, never consults the RNG, and is
+  identical under static/elastic schedules and any executor -- the clean
+  substrate on which the wrapper properties are provable.
+* ``encodedenum`` -- the same guess sequence delivered as encoded
+  batches (``index_matrix`` + codec, no materialized strings), driving
+  the vectorized policy mask path instead of the string fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.data.alphabet import default_alphabet
+from repro.data.encoding import PasswordEncoder
+from repro.strategies.base import GuessBatch, GuessingStrategy
+from repro.strategies.registry import ParamReader, register
+
+#: Mixed-class vocabulary: lengths 1..8, all four character classes,
+#: denylist-friendly stems.  Alphabet-safe under ``default_alphabet``.
+VOCAB = (
+    "a",
+    "ab",
+    "Pass",
+    "wordy",
+    "DRAGON",
+    "monkey",
+    "12345",
+    "s3cret!",
+    "X9$kQ",
+    "Abc123",
+)
+
+
+def enum_password(n: int, max_length: int = 10) -> str:
+    """The ``enum`` family's guess ``n`` (pure function of position)."""
+    word = VOCAB[n % len(VOCAB)] + str(n)
+    return word[:max_length]
+
+
+class EnumStrategy(GuessingStrategy):
+    """Position-deterministic mixed-class enumerator (string batches)."""
+
+    name = "Enum"
+    replayable = True
+
+    def __init__(self, batch: int = 32, spec: str = "enum") -> None:
+        super().__init__(spec=spec)
+        self._batch = int(batch)
+        self._position = 0
+        self._encoder = PasswordEncoder(default_alphabet())
+
+    def _emit(self, count: int) -> List[str]:
+        start = self._position
+        self._position += count
+        return [
+            enum_password(n, self._encoder.max_length)
+            for n in range(start, start + count)
+        ]
+
+    def iter_guesses(self, rng: np.random.Generator) -> Iterator[GuessBatch]:
+        while True:
+            count = self.context.next_count(self._batch)
+            if count < 1:
+                return
+            yield GuessBatch(self._emit(count))
+
+
+class EncodedEnumStrategy(EnumStrategy):
+    """The same sequence as encoded index-matrix batches."""
+
+    name = "EncodedEnum"
+
+    def iter_guesses(self, rng: np.random.Generator) -> Iterator[GuessBatch]:
+        while True:
+            count = self.context.next_count(self._batch)
+            if count < 1:
+                return
+            matrix = self._encoder.indices_from_strings(self._emit(count))
+            yield GuessBatch(None, index_matrix=matrix, codec=self._encoder)
+
+
+@register(
+    "enum",
+    "test-only: mixed-class position-deterministic enumerator",
+    bankable="yes: pure function of position",
+)
+def _build_enum(spec, resources) -> EnumStrategy:
+    """Build an ``enum[?batch=]`` spec."""
+    reader = ParamReader(spec)
+    batch = reader.take("batch", 32, int)
+    reader.finish()
+    return EnumStrategy(batch=batch, spec=reader.canonical())
+
+
+@register(
+    "encodedenum",
+    "test-only: the enum stream as encoded index-matrix batches",
+    bankable="yes: pure function of position",
+)
+def _build_encodedenum(spec, resources) -> EncodedEnumStrategy:
+    """Build an ``encodedenum[?batch=]`` spec."""
+    reader = ParamReader(spec)
+    batch = reader.take("batch", 32, int)
+    reader.finish()
+    return EncodedEnumStrategy(batch=batch, spec=reader.canonical())

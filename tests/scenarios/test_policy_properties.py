@@ -1,0 +1,256 @@
+"""Policy wrapper properties: exact filtering, mask parity, determinism.
+
+The load-bearing contracts, hypothesis-checked:
+
+* the wrapped stream is *exactly* the unwrapped stream minus the
+  nonconforming guesses -- equality against the scalar reference
+  predicate, not a statistical claim;
+* the vectorized index-matrix mask agrees bitwise with the string path
+  on arbitrary passwords and arbitrary policies;
+* policy-filtered parallel attacks are bit-identical across repeated
+  runs for every (workers, schedule, executor) configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.alphabet import default_alphabet
+from repro.data.dataset import PasswordDataset
+from repro.data.encoding import PasswordEncoder
+from repro.runtime import (
+    LocalExecutor,
+    ParallelAttackEngine,
+    ProcessPoolExecutor,
+    StrategySource,
+)
+from repro.scenarios import CompositionPolicy
+from repro.strategies import SpecError, build, parse_spec, take, unwrap_spec
+
+from scenario_enum import VOCAB, enum_password
+
+ALPHABET = default_alphabet()
+ENCODER = PasswordEncoder(ALPHABET)
+
+# hypothesis-drawn passwords over the full alphabet, encoder-length capped
+password_st = st.text(alphabet=ALPHABET.chars, min_size=0, max_size=10)
+
+# hypothesis-drawn policies: any (min, span, classes, deny) combination
+policy_st = st.builds(
+    lambda min_len, span, classes, deny: CompositionPolicy(
+        min_len=min_len,
+        max_len=None if span is None else min_len + span,
+        classes="".join(classes),
+        deny=tuple(deny),
+    ),
+    min_len=st.integers(min_value=0, max_value=8),
+    span=st.none() | st.integers(min_value=0, max_value=6),
+    classes=st.sets(st.sampled_from("luds")),
+    deny=st.sets(st.sampled_from(VOCAB), max_size=3),
+)
+
+
+class TestPolicyPredicate:
+    @given(password=password_st, policy=policy_st)
+    @settings(max_examples=200, deadline=None)
+    def test_conforms_matches_definition(self, password, policy):
+        """The scalar reference is the policy definition, literally."""
+        classes = {
+            ("l" if c.islower() else "u" if c.isupper() else "d" if c.isdigit() else "s")
+            for c in password
+        }
+        expected = (
+            policy.min_len <= len(password)
+            and (policy.max_len is None or len(password) <= policy.max_len)
+            and set(policy.classes) <= classes
+            and not any(pattern in password for pattern in policy.deny)
+        )
+        assert policy.conforms(password) == expected
+
+    @given(passwords=st.lists(password_st, max_size=40), policy=policy_st)
+    @settings(max_examples=150, deadline=None)
+    def test_mask_indices_matches_mask_strings_bitwise(self, passwords, policy):
+        """The vectorized encoded mask is the string path, exactly."""
+        matrix = ENCODER.indices_from_strings(passwords)
+        string_mask = policy.mask_strings(passwords)
+        index_mask = policy.mask_indices(matrix, ENCODER)
+        np.testing.assert_array_equal(index_mask, string_mask)
+
+    def test_mask_indices_on_empty_batch(self):
+        policy = CompositionPolicy(min_len=6, classes="ld")
+        matrix = ENCODER.indices_from_strings([])
+        assert policy.mask_indices(matrix, ENCODER).shape == (0,)
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_class_code(self):
+        with pytest.raises(ValueError, match="class"):
+            CompositionPolicy(classes="lx")
+
+    def test_rejects_min_over_max(self):
+        with pytest.raises(ValueError, match="max_len"):
+            CompositionPolicy(min_len=9, max_len=4)
+
+    def test_rejects_comma_in_deny_entry(self):
+        with pytest.raises(ValueError, match="deny"):
+            CompositionPolicy(deny=("a,b",))
+
+    def test_from_params_rejects_unknown_key(self):
+        with pytest.raises(ValueError, match="nope"):
+            CompositionPolicy.from_params({"nope": "1"})
+
+    def test_normalizes_classes_and_deny(self):
+        policy = CompositionPolicy(classes="ddlu", deny=("b", "a", "b"))
+        assert policy.classes == "dlu"
+        assert policy.deny == ("a", "b")
+
+
+class TestWrapperSpecs:
+    def test_wrap_and_canonical_round_trip(self):
+        policy = CompositionPolicy(min_len=8, classes="lud")
+        spec = policy.wrap("markov:3")
+        assert spec == "policy(markov:3)?classes=dlu&min_len=8"
+        parsed = parse_spec(spec)
+        assert parsed.family == "policy"
+        assert parsed.inner == "markov:3"
+        assert parsed.canonical() == spec
+        assert unwrap_spec(spec).family == "markov"
+
+    def test_nested_wrappers_round_trip(self):
+        spec = "policy(mangle(markov:3)?rules=leet)?min_len=8"
+        parsed = parse_spec(spec)
+        assert parsed.inner == "mangle(markov:3)?rules=leet"
+        assert parsed.canonical() == spec
+        assert unwrap_spec(spec).family == "markov"
+
+    def test_wrapper_rejects_variant(self):
+        with pytest.raises(SpecError, match="variant"):
+            parse_spec("policy:strict(markov:3)")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(SpecError):
+            parse_spec("policy(markov:3")
+
+    def test_policy_spec_requires_inner(self):
+        with pytest.raises(SpecError, match="wraps another spec"):
+            build("policy?min_len=8")
+
+    def test_built_describe_is_canonical(self):
+        strategy = build("policy(enum)?min_len=6&classes=dl")
+        assert strategy.describe() == "policy(enum)?classes=dl&min_len=6"
+        assert strategy.name == "Enum+Policy"
+        assert strategy.replayable
+
+
+class TestFilteredStream:
+    @given(policy=policy_st)
+    @settings(max_examples=40, deadline=None)
+    def test_stream_equals_scalar_reference_filter(self, policy):
+        """Wrapped stream == unwrapped stream minus nonconforming guesses."""
+        rng = np.random.default_rng(0)
+        raw = take(build("enum?batch=37"), 1500, rng)
+        reference = [g for g in raw if policy.conforms(g)][:300]
+        wrapped = build(
+            "policy(enum?batch=37)?"
+            + "&".join(f"{k}={v}" for k, v in policy.spec_params().items())
+            if policy.spec_params()
+            else "policy(enum?batch=37)"
+        )
+        assert take(wrapped, len(reference), rng) == reference
+
+    @given(policy=policy_st)
+    @settings(max_examples=25, deadline=None)
+    def test_encoded_path_equals_string_path(self, policy):
+        """policy(encodedenum) emits the same guesses as policy(enum)."""
+        params = policy.spec_params()
+        query = "?" + "&".join(f"{k}={v}" for k, v in params.items()) if params else ""
+        rng = np.random.default_rng(0)
+        via_strings = take(build(f"policy(enum){query}"), 200, rng)
+        via_encoded = take(build(f"policy(encodedenum){query}"), 200, rng)
+        assert via_encoded == via_strings
+
+    def test_starved_stream_dries_after_patience(self):
+        # no enum guess exceeds the 10-char codec cap; without the
+        # patience guard this would spin on the infinite inner stream
+        strategy = build("policy(enum?batch=64)?min_len=11&patience=1000")
+        assert take(strategy, 50, np.random.default_rng(0)) == []
+
+    def test_conforming_guesses_reset_patience(self):
+        # patience far below the total drop count, but conformant
+        # guesses arrive regularly -- the guard must never fire
+        strategy = build("policy(enum?batch=16)?min_len=6&classes=dl&patience=40")
+        assert len(take(strategy, 300, np.random.default_rng(0))) == 300
+
+
+class TestParallelDeterminism:
+    BUDGETS = [64, 256]
+    SPEC = "policy(enum?batch=16)?min_len=6&classes=dl"
+
+    @staticmethod
+    def _test_set():
+        return {enum_password(n) for n in range(40, 160)}
+
+    @classmethod
+    def _run(cls, workers, schedule, executor):
+        engine = ParallelAttackEngine(
+            cls._test_set(),
+            cls.BUDGETS,
+            workers=workers,
+            schedule=schedule,
+            executor=executor,
+        )
+        report = engine.run(StrategySource(cls.SPEC), seed=7)
+        return (
+            [(r.guesses, r.unique, r.matched, r.match_percent) for r in report.rows],
+            report.matched_samples,
+            report.non_matched_samples,
+        )
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("schedule", ["static", "elastic"])
+    def test_repeat_runs_bit_identical_local(self, workers, schedule):
+        first = self._run(workers, schedule, LocalExecutor())
+        second = self._run(workers, schedule, LocalExecutor())
+        assert first == second
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    @pytest.mark.parametrize("schedule", ["static", "elastic"])
+    def test_processpool_matches_local(self, workers, schedule):
+        """The pool executor reproduces the in-process report bytes."""
+        local = self._run(workers, schedule, LocalExecutor())
+        pooled = self._run(workers, schedule, ProcessPoolExecutor())
+        assert pooled == local
+
+    def test_workers_one_matches_scalar_reference(self):
+        """The parallel engine at workers=1 emits the reference stream."""
+        policy = CompositionPolicy(min_len=6, classes="dl")
+        rows, matched, _ = self._run(1, "static", LocalExecutor())
+        raw = take(build("enum?batch=16"), 5000, np.random.default_rng(0))
+        reference = [g for g in raw if policy.conforms(g)][: self.BUDGETS[-1]]
+        expected_matched = set(reference) & self._test_set()
+        assert rows[-1][2] == len(expected_matched)
+        assert set(matched) <= expected_matched
+
+
+class TestDatasetFilter:
+    def test_test_filter_applied_after_cleaning(self):
+        policy = CompositionPolicy(min_len=6, classes="dl")
+        train = ["monkey11", "abc"]
+        test_raw = ["monkey11", "drag0nfly", "short", "drag0nfly", "UPPER99x"]
+        dataset = PasswordDataset(
+            train, test_raw, ENCODER, test_filter=policy.conforms
+        )
+        # monkey11 is train-intersection, short fails min_len, UPPER99x
+        # conforms (has lower+digit), duplicates collapse
+        assert dataset.test == ["drag0nfly", "UPPER99x"]
+
+    def test_training_side_never_filtered(self):
+        policy = CompositionPolicy(min_len=20)
+        dataset = PasswordDataset(
+            ["abc", "de"], ["xyz"], ENCODER, test_filter=policy.conforms
+        )
+        assert dataset.train == ["abc", "de"]
+        assert dataset.test == []
